@@ -1,0 +1,65 @@
+"""Ablation A3 — cost of the exactness-certifying completion walk.
+
+DESIGN.md documents that the published MUDS phases are not complete on
+adversarial inputs; the library therefore defaults to
+``verify_completeness=True``.  This bench quantifies what certification
+costs on the paper's own workloads (where the published phases usually
+already find everything, so the heavily-seeded completion walk should be
+comparatively cheap) and how many FDs it recovers.
+"""
+
+from repro.core.muds import Muds
+from repro.datasets import ionosphere_like, ncvoter_like, uniprot_like
+from repro.harness import ascii_table
+
+from .conftest import once
+
+
+def test_completion_walk_ablation(benchmark, bench_profile, report_sink):
+    rows = bench_profile["ablation_rows"]
+    workloads = [
+        uniprot_like(rows * 2, n_columns=10, seed=0),
+        ionosphere_like(12, seed=0),
+        ncvoter_like(max(rows // 2, 300), n_columns=16, seed=0),
+    ]
+
+    def experiment():
+        measured = []
+        for relation in workloads:
+            faithful = Muds(seed=0, verify_completeness=False).profile(relation)
+            exact = Muds(seed=0, verify_completeness=True).profile(relation)
+            measured.append((relation, faithful, exact))
+        return measured
+
+    measured = once(benchmark, experiment)
+
+    rows_out = []
+    for relation, faithful, exact in measured:
+        recovered = len(exact.fds) - len(faithful.fds)
+        rows_out.append(
+            [
+                relation.name,
+                f"{faithful.total_seconds:.3f}",
+                f"{exact.total_seconds:.3f}",
+                f"{exact.phase_seconds.get('completion_walk', 0.0):.3f}",
+                len(faithful.fds),
+                len(exact.fds),
+                recovered,
+            ]
+        )
+        # The certified set can only be a superset of the faithful one.
+        assert recovered >= 0
+
+    report = [
+        f"Ablation A3 — exactness certification cost "
+        f"(profile={bench_profile['name']})",
+        "",
+        ascii_table(
+            [
+                "workload", "faithful[s]", "exact[s]", "completion[s]",
+                "FDs(faithful)", "FDs(exact)", "recovered",
+            ],
+            rows_out,
+        ),
+    ]
+    report_sink("ablation_completion", "\n".join(report))

@@ -1,0 +1,78 @@
+"""Ablation A1 — UCC prefix tree vs. naive list scan (§5.4).
+
+The paper motivates the prefix tree with the cost of subset lookups
+against a growing set of minimal UCCs.  This bench measures exactly that
+operation both ways on the UCC set of a shadowed-heavy workload, using
+pytest-benchmark's statistical timing (these are micro-operations, unlike
+the figure sweeps).
+"""
+
+import pytest
+
+from repro.algorithms import ducc
+from repro.datasets import ncvoter_like
+from repro.lattice import PrefixTree
+from repro.pli import RelationIndex
+from repro.relation.columnset import full_mask, is_subset
+
+
+@pytest.fixture(scope="module")
+def ucc_workload(bench_profile):
+    relation = ncvoter_like(bench_profile["ablation_rows"], n_columns=20, seed=0)
+    uccs = ducc(RelationIndex(relation)).minimal_uccs
+    universe = full_mask(relation.n_columns)
+    # Probe masks: the shifted windows a shadowed pass would look up.
+    probes = [(universe >> shift) & universe for shift in range(relation.n_columns)]
+    probes += [ucc | (ucc << 1) & universe for ucc in uccs[:50]]
+    return uccs, [p for p in probes if p]
+
+
+def scan_subsets(uccs, probes):
+    return [
+        [ucc for ucc in uccs if is_subset(ucc, probe)]
+        for probe in probes
+    ]
+
+
+def tree_subsets(tree, probes):
+    return [tree.subsets_of(probe) for probe in probes]
+
+
+def test_subset_lookup_naive_scan(benchmark, ucc_workload):
+    uccs, probes = ucc_workload
+    result = benchmark(scan_subsets, uccs, probes)
+    assert len(result) == len(probes)
+
+
+def test_subset_lookup_prefix_tree(benchmark, ucc_workload):
+    uccs, probes = ucc_workload
+    tree = PrefixTree(uccs)
+    result = benchmark(tree_subsets, tree, probes)
+    # Same answers as the scan — the tree is a pure index.
+    assert [sorted(r) for r in result] == [
+        sorted(r) for r in scan_subsets(uccs, probes)
+    ]
+
+
+def test_superset_lookup_naive_scan(benchmark, ucc_workload):
+    uccs, probes = ucc_workload
+    small_probes = [p & (p - 1) & (p - 2) for p in probes]
+
+    def scan():
+        return [
+            [ucc for ucc in uccs if is_subset(probe, ucc)]
+            for probe in small_probes
+        ]
+
+    benchmark(scan)
+
+
+def test_superset_lookup_prefix_tree(benchmark, ucc_workload):
+    uccs, probes = ucc_workload
+    small_probes = [p & (p - 1) & (p - 2) for p in probes]
+    tree = PrefixTree(uccs)
+
+    def lookup():
+        return [tree.supersets_of(probe) for probe in small_probes]
+
+    benchmark(lookup)

@@ -1,0 +1,53 @@
+"""Ablation A2 — inter-task pruning in the R∖Z sub-lattice walks (§5.2).
+
+MUDS seeds every per-rhs walk with the minimal UCCs as known positives
+(a key determines everything).  This bench runs MUDS with and without
+that seeding on a workload with a substantial R∖Z and reports runtimes
+and FD-check counts; results are identical by construction (covered by
+tests), only the work differs.
+"""
+
+from repro.core.muds import Muds
+from repro.datasets import uniprot_like
+from repro.harness import ascii_table
+
+from .conftest import once
+
+
+def test_ucc_pruning_ablation(benchmark, bench_profile, report_sink):
+    relation = uniprot_like(
+        bench_profile["ablation_rows"] * 4, n_columns=10, seed=0
+    )
+
+    def experiment():
+        with_pruning = Muds(seed=0, verify_completeness=False).profile(relation)
+        without_pruning = Muds(
+            seed=0, verify_completeness=False, use_ucc_pruning=False
+        ).profile(relation)
+        return with_pruning, without_pruning
+
+    with_pruning, without_pruning = once(benchmark, experiment)
+    assert with_pruning.same_metadata(without_pruning)
+
+    rows = [
+        [
+            label,
+            f"{r.phase_seconds['calculate_r_minus_z']:.3f}",
+            f"{r.total_seconds:.3f}",
+            r.counters["fd_checks"],
+        ]
+        for label, r in [("with UCC seeds", with_pruning), ("without", without_pruning)]
+    ]
+    report = [
+        f"Ablation A2 — inter-task pruning in the R∖Z walks "
+        f"(uniprot_like {relation.n_rows}x10, profile={bench_profile['name']})",
+        "",
+        ascii_table(["configuration", "r_minus_z[s]", "total[s]", "fd_checks"], rows),
+    ]
+    report_sink("ablation_pruning", "\n".join(report))
+
+    # Soft shape check: seeding prunes the region above the UCC border, so
+    # it should not cost extra checks (tiny slack for walk-path variance).
+    assert with_pruning.counters["fd_checks"] <= 1.1 * (
+        without_pruning.counters["fd_checks"] + 10
+    ), "UCC seeding should not increase the number of FD checks"

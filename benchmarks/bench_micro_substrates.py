@@ -1,0 +1,60 @@
+"""Micro-benchmarks for the hot substrate operations.
+
+These are the primitives whose constants decide every figure: PLI
+construction and intersection, the partition-refinement FD check, and
+minimal hitting sets.  pytest-benchmark's statistical timing applies
+cleanly here (unlike the minutes-long figure sweeps).
+"""
+
+import random
+
+import pytest
+
+from repro.lattice import minimal_hitting_sets
+from repro.pli import RelationIndex, pli_from_column
+from repro.relation import Relation
+
+N_ROWS = 20_000
+
+
+@pytest.fixture(scope="module")
+def columns():
+    rng = random.Random(0)
+    return {
+        "low_card": [rng.randrange(8) for _ in range(N_ROWS)],
+        "mid_card": [rng.randrange(500) for _ in range(N_ROWS)],
+        "high_card": [rng.randrange(N_ROWS // 2) for _ in range(N_ROWS)],
+    }
+
+
+def test_pli_construction(benchmark, columns):
+    pli = benchmark(pli_from_column, columns["mid_card"])
+    assert pli.n_rows == N_ROWS
+
+
+def test_pli_intersection_low_x_mid(benchmark, columns):
+    low = pli_from_column(columns["low_card"])
+    mid = pli_from_column(columns["mid_card"])
+    joint = benchmark(low.intersect, mid)
+    assert joint.n_rows == N_ROWS
+
+
+def test_refinement_check(benchmark, columns):
+    from repro.pli import value_vector
+
+    low = pli_from_column(columns["low_card"])
+    vector = value_vector(columns["high_card"])
+    benchmark(low.refines, vector)
+
+
+def test_index_fd_check(benchmark, columns):
+    relation = Relation.from_dict(columns)
+    index = RelationIndex(relation)
+    benchmark(index.check_fd, 0b011, 2)
+
+
+def test_minimal_hitting_sets_border(benchmark):
+    rng = random.Random(1)
+    edges = [rng.randrange(1, 1 << 16) for _ in range(40)]
+    result = benchmark(minimal_hitting_sets, edges)
+    assert result

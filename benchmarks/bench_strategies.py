@@ -1,0 +1,76 @@
+"""Section 3 — the three holistic strategies side by side.
+
+§3 discusses three candidate designs for a holistic profiler and the
+paper implements two of them; this bench measures all three:
+
+* **fds_first** (§3.1) — FUN, then UCCs *derived* from the FD cover via
+  Lemma 2 (Lucchesi–Osborn key enumeration).  The paper dismisses this
+  for its derivation overhead.
+* **hfun** (§3.2) — FUN collecting the minimal UCCs during traversal, at
+  no extra checking cost.
+* **muds** (§3.3 / §5) — UCCs first, then UCC-driven FD discovery.
+
+All three share the same input pass; the derivation-overhead claim is
+what the ``derive_uccs`` column makes concrete.
+"""
+
+from repro.core.fds_first import FdsFirstProfiler
+from repro.core.holistic_fun import HolisticFun
+from repro.core.muds import Muds
+from repro.datasets import ncvoter_like, uniprot_like
+from repro.harness import ascii_table
+from repro.metadata import ucc_signature
+
+from .conftest import once
+
+
+def test_section3_strategies(benchmark, bench_profile, report_sink):
+    rows = bench_profile["ablation_rows"]
+    workloads = [
+        uniprot_like(rows * 2, n_columns=10, seed=0),
+        ncvoter_like(max(rows // 2, 300), n_columns=14, seed=0),
+    ]
+
+    def experiment():
+        measured = []
+        for relation in workloads:
+            fds_first = FdsFirstProfiler().profile(relation)
+            hfun = HolisticFun().profile(relation)
+            muds = Muds(seed=0, verify_completeness=False).profile(relation)
+            measured.append((relation, fds_first, hfun, muds))
+        return measured
+
+    measured = once(benchmark, experiment)
+
+    rows_out = []
+    for relation, fds_first, hfun, muds in measured:
+        # All strategies must agree on the UCCs (Lemma 2 in action).
+        assert ucc_signature(fds_first.uccs) == ucc_signature(hfun.uccs)
+        assert ucc_signature(hfun.uccs) == ucc_signature(muds.uccs)
+        rows_out.append(
+            [
+                relation.name,
+                f"{fds_first.total_seconds:.3f}",
+                f"{fds_first.phase_seconds['derive_uccs']:.3f}",
+                f"{hfun.total_seconds:.3f}",
+                f"{muds.total_seconds:.3f}",
+                len(hfun.uccs),
+                len(hfun.fds),
+            ]
+        )
+    report = [
+        f"Section 3 — holistic strategy comparison "
+        f"(profile={bench_profile['name']})",
+        "",
+        ascii_table(
+            [
+                "workload", "fds_first[s]", "derive_uccs[s]", "hfun[s]",
+                "muds[s]", "#UCCs", "#FDs",
+            ],
+            rows_out,
+        ),
+        "",
+        "§3.1's dismissal: fds_first = hfun + pure derivation overhead "
+        "(the derive_uccs column), with identical results.",
+    ]
+    report_sink("section3_strategies", "\n".join(report))

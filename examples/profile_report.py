@@ -1,0 +1,38 @@
+"""Generate a full Markdown data-profile report for a dataset.
+
+Combines dependency discovery (MUDS) with per-column statistics into the
+artifact a data-cleansing or integration workflow would consume.
+
+Run with::
+
+    python examples/profile_report.py [dataset] [n_rows] [output.md]
+"""
+
+import sys
+
+from repro import Muds
+from repro.datasets import REGISTRY, load
+from repro.harness.profile_report import render_profile_report
+
+
+def main(dataset: str = "bridges", n_rows: int | None = None,
+         output: str | None = None) -> None:
+    if dataset not in REGISTRY:
+        raise SystemExit(f"unknown dataset {dataset!r}; known: {sorted(REGISTRY)}")
+    relation = load(dataset, n_rows=n_rows)
+    result = Muds(seed=0).profile(relation)
+    report = render_profile_report(relation, result)
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"profile written to {output}")
+    else:
+        print(report)
+
+
+if __name__ == "__main__":
+    main(
+        sys.argv[1] if len(sys.argv) > 1 else "bridges",
+        int(sys.argv[2]) if len(sys.argv) > 2 else None,
+        sys.argv[3] if len(sys.argv) > 3 else None,
+    )

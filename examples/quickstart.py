@@ -1,0 +1,45 @@
+"""Quickstart: profile a small relation and read the three result sets.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Relation, profile
+
+
+def main() -> None:
+    # A toy address table: `city` determines `state`; `zip` determines
+    # both; `employee_id` is a key; `work_state` contains `state`.
+    relation = Relation.from_rows(
+        ["employee_id", "city", "zip", "state", "work_state"],
+        [
+            ("E1", "Portland", "97201", "OR", "OR"),
+            ("E2", "Portland", "97201", "OR", "WA"),
+            ("E3", "Salem", "97301", "OR", "OR"),
+            ("E4", "Seattle", "98101", "WA", "WA"),
+            ("E5", "Spokane", "99201", "WA", "OR"),
+        ],
+        name="employees",
+    )
+
+    # One call discovers all three kinds of metadata at once. The "auto"
+    # algorithm applies the paper's column-count heuristic (§6.5); pin
+    # algorithm="muds" / "holistic_fun" / "baseline" to choose yourself.
+    result = profile(relation)
+
+    print(f"profiled {relation!r}\n")
+    print("unary inclusion dependencies:")
+    for ind in result.inds:
+        print(f"  {ind}")
+    print("\nminimal unique column combinations (key candidates):")
+    for ucc in result.uccs:
+        print(f"  {ucc}")
+    print("\nminimal functional dependencies:")
+    for fd in result.fds:
+        print(f"  {fd}")
+    print(f"\nphase timings: { {k: round(v, 4) for k, v in result.phase_seconds.items()} }")
+
+
+if __name__ == "__main__":
+    main()

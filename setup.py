@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+Modern metadata lives in pyproject.toml; this file only enables legacy
+(`--no-use-pep517`) editable installs on minimal offline toolchains.
+"""
+
+from setuptools import setup
+
+setup()

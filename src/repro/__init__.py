@@ -1,0 +1,52 @@
+"""repro — holistic data profiling.
+
+A from-scratch reproduction of *Holistic Data Profiling: Simultaneous
+Discovery of Various Metadata* (Ehrlich et al., EDBT 2016): the MUDS
+algorithm, the Holistic FUN adaption, the sequential SPIDER/DUCC/FUN
+baseline, and the TANE comparator, together with every substrate they
+need (relations, PLIs, lattice search, prefix trees) and the paper's
+benchmark suite.
+
+Quickstart::
+
+    from repro import Relation, profile
+
+    relation = Relation.from_rows(
+        ["city", "zip", "state"],
+        [("Portland", "97201", "OR"), ("Salem", "97301", "OR")],
+    )
+    result = profile(relation)
+    print(result.inds, result.uccs, result.fds)
+"""
+
+from .core.adaptive import AdaptiveProfiler
+from .core.baseline import SequentialBaseline
+from .core.holistic_fun import HolisticFun
+from .core.muds import Muds
+from .core.profiler import choose_algorithm, profile
+from .core.statistics import ColumnStatistics, profile_statistics
+from .metadata import FD, IND, UCC, ProfilingResult
+from .relation import ColumnSet, Relation, read_csv, read_csv_text, write_csv
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveProfiler",
+    "ColumnSet",
+    "ColumnStatistics",
+    "FD",
+    "HolisticFun",
+    "IND",
+    "Muds",
+    "ProfilingResult",
+    "Relation",
+    "SequentialBaseline",
+    "UCC",
+    "choose_algorithm",
+    "profile",
+    "profile_statistics",
+    "read_csv",
+    "read_csv_text",
+    "write_csv",
+    "__version__",
+]

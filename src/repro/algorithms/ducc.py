@@ -1,0 +1,71 @@
+"""DUCC: minimal unique column combination discovery (§2.2).
+
+Heise et al.'s DUCC traverses the attribute lattice with a combined
+depth-first / random-walk strategy: from a non-unique node it climbs to a
+random unvisited direct superset, from a unique node it descends to a
+random unvisited direct subset, pruning supersets of known UCCs and subsets
+of known non-UCCs.  Because combined up/down pruning can leave unvisited
+"holes", DUCC finishes by comparing the found minimal UCCs against the
+complements of the found maximal non-UCCs (a minimal-hitting-set duality)
+and re-walks any mismatch.
+
+The traversal itself is the generic
+:class:`~repro.lattice.search.LatticeSearch`; this module binds it to the
+uniqueness predicate over a :class:`~repro.pli.index.RelationIndex` (PLIs
+are the uniqueness check: a column combination is unique iff its stripped
+PLI is empty).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..lattice.search import LatticeSearch
+from ..pli.index import RelationIndex
+from ..relation.columnset import full_mask
+from ..relation.relation import Relation
+
+__all__ = ["ducc", "ducc_on_relation", "DuccResult"]
+
+
+@dataclass(slots=True)
+class DuccResult:
+    """Output of a DUCC run."""
+
+    #: Minimal UCCs, ascending bitmask order.
+    minimal_uccs: list[int]
+    #: Maximal observed non-UCCs (complete border whenever the walk had to
+    #: chart the negative region; used downstream for pruning).
+    maximal_non_uccs: list[int]
+    #: Number of uniqueness checks actually performed on PLIs.
+    checks: int
+    #: Number of hole-filling rounds needed after the random walks.
+    hole_rounds: int
+
+
+def ducc(index: RelationIndex, rng: random.Random | None = None) -> DuccResult:
+    """Discover all minimal UCCs of the indexed relation.
+
+    A relation containing duplicate rows has no UCC at all; the algorithm
+    handles that gracefully (the full column set tests non-unique and the
+    duality loop converges on an empty UCC set), but holistic callers are
+    expected to deduplicate first (§3).
+    """
+    search = LatticeSearch(
+        universe=full_mask(index.n_columns),
+        predicate=index.is_unique,
+        rng=rng or random.Random(0),
+    )
+    minimal, maximal_non = search.run()
+    return DuccResult(
+        minimal_uccs=minimal,
+        maximal_non_uccs=maximal_non,
+        checks=search.evaluations,
+        hole_rounds=search.hole_rounds,
+    )
+
+
+def ducc_on_relation(relation: Relation, rng: random.Random | None = None) -> DuccResult:
+    """Standalone DUCC including its own read/PLI pass (baseline mode)."""
+    return ducc(RelationIndex(relation), rng=rng)

@@ -1,0 +1,140 @@
+"""N-ary inclusion dependency discovery (extension).
+
+The paper restricts holistic discovery to *unary* INDs because only those
+feed the UCC/FD pruning, noting that "without any loss of generality, we
+could discover n-ary INDs as well" (§2.1).  This module supplies that
+extension: level-wise candidate generation in the style of De Marchi et
+al. [8] — an n-ary IND ``(X1..Xn) ⊆ (Y1..Yn)`` can only hold if every
+(n−1)-ary projection holds — with validation by set containment over the
+projected value tuples.
+
+Candidates pair *distinct* attribute sequences position-wise; attribute
+repetitions on either side are excluded, as are positions mapping an
+attribute to itself (candidates compose non-trivial unary INDs only).
+NULL-containing tuples are skipped, consistent with the unary semantics
+of :mod:`repro.algorithms.spider`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..relation.relation import Relation
+from .spider import spider_on_relation
+from .values import canonical_value
+
+__all__ = ["NaryInd", "discover_nary_inds"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class NaryInd:
+    """An n-ary inclusion dependency between attribute sequences.
+
+    ``dependent`` and ``referenced`` are index tuples of equal length;
+    position ``i`` of the dependent sequence maps to position ``i`` of the
+    referenced one.
+    """
+
+    dependent: tuple[int, ...]
+    referenced: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.dependent) != len(self.referenced):
+            raise ValueError("dependent and referenced arity differ")
+        if not self.dependent:
+            raise ValueError("empty IND")
+
+    @property
+    def arity(self) -> int:
+        """Number of attribute pairs."""
+        return len(self.dependent)
+
+    def render(self, names) -> str:
+        """Human-readable form under a schema."""
+        left = ", ".join(names[i] for i in self.dependent)
+        right = ", ".join(names[i] for i in self.referenced)
+        return f"({left}) ⊆ ({right})"
+
+
+def _projection(relation: Relation, attrs: tuple[int, ...]) -> set[tuple[str, ...]]:
+    """Canonicalized, NULL-free value tuples of a projection."""
+    columns = [relation.column(i) for i in attrs]
+    result: set[tuple[str, ...]] = set()
+    for row in zip(*columns):
+        if any(value is None for value in row):
+            continue
+        result.add(tuple(canonical_value(value) for value in row))
+    return result
+
+
+def _holds(relation: Relation, candidate: NaryInd) -> bool:
+    return _projection(relation, candidate.dependent) <= _projection(
+        relation, candidate.referenced
+    )
+
+
+def discover_nary_inds(relation: Relation, max_arity: int = 3) -> list[NaryInd]:
+    """Discover all n-ary INDs within one relation up to ``max_arity``.
+
+    Returns INDs of every arity (unary included), sorted.  Following the
+    usual convention, an IND and its position-permutations are considered
+    equivalent; only the candidate whose dependent sequence is strictly
+    ascending is reported.
+    """
+    if max_arity < 1:
+        raise ValueError("max_arity must be at least 1")
+    unary = [
+        NaryInd((dep,), (ref,)) for dep, ref in spider_on_relation(relation)
+    ]
+    results = list(unary)
+    current = unary
+    arity = 1
+    while current and arity < max_arity:
+        arity += 1
+        candidates = _generate(current, unary)
+        survivors = [c for c in candidates if _holds(relation, c)]
+        results.extend(survivors)
+        current = survivors
+    return sorted(results)
+
+
+def _generate(previous: list[NaryInd], unary: list[NaryInd]) -> list[NaryInd]:
+    """Extend every (n−1)-ary IND with a compatible unary IND.
+
+    The dependent side stays strictly ascending (canonical representative
+    of the permutation class) and neither side may repeat an attribute.
+    A generated candidate is kept only if all of its (n−1)-ary
+    sub-sequences are known to hold — the apriori condition.
+    """
+    known = {(ind.dependent, ind.referenced) for ind in previous}
+    seen: set[tuple[tuple[int, ...], tuple[int, ...]]] = set()
+    candidates: list[NaryInd] = []
+    for base in previous:
+        for extension in unary:
+            dep_col, ref_col = extension.dependent[0], extension.referenced[0]
+            if dep_col <= base.dependent[-1]:
+                continue  # keep the dependent side ascending
+            if dep_col in base.dependent or ref_col in base.referenced:
+                continue
+            dependent = base.dependent + (dep_col,)
+            referenced = base.referenced + (ref_col,)
+            key = (dependent, referenced)
+            if key in seen:
+                continue
+            seen.add(key)
+            if _all_subinds_hold(dependent, referenced, known):
+                candidates.append(NaryInd(dependent, referenced))
+    return candidates
+
+
+def _all_subinds_hold(
+    dependent: tuple[int, ...],
+    referenced: tuple[int, ...],
+    known: set[tuple[tuple[int, ...], tuple[int, ...]]],
+) -> bool:
+    for drop in range(len(dependent) - 1):
+        sub_dep = dependent[:drop] + dependent[drop + 1 :]
+        sub_ref = referenced[:drop] + referenced[drop + 1 :]
+        if (sub_dep, sub_ref) not in known:
+            return False
+    return True

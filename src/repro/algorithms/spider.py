@@ -1,0 +1,124 @@
+"""SPIDER: unary inclusion dependency discovery (§2.1, Table 1).
+
+Bauckmann et al.'s SPIDER runs in two phases.  The *sorting phase* turns
+every column into a sorted, duplicate-free value list.  The *comparison
+phase* sweeps all lists simultaneously in value order: at each step the
+group of attributes sharing the current smallest value can only be included
+in one another, so each member's referenced-candidate set is intersected
+with the group.  Attributes whose list is exhausted drop out; what remains
+of each candidate set at the end are the valid INDs.
+
+In the holistic setting (§3) the duplicate-free value lists come for free
+from the value→positions grouping performed during PLI construction, which
+is why :func:`spider` consumes a :class:`~repro.pli.index.RelationIndex`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+
+from ..pli.index import RelationIndex
+from ..relation.relation import Relation
+from .values import canonical_value
+
+__all__ = ["spider", "spider_on_relation", "spider_across"]
+
+
+def _merge_candidates(sorted_values: list[list[str]]) -> list[int]:
+    """SPIDER's comparison phase over sorted duplicate-free value lists.
+
+    Returns, per attribute, the bitmask of attributes it can still be
+    included in: at every merge step, the group of attributes holding the
+    current smallest value can only be included in one another.
+    """
+    n = len(sorted_values)
+    all_attrs = (1 << n) - 1
+    refs = [all_attrs & ~(1 << attr) for attr in range(n)]
+    cursors = [0] * n
+    heap: list[tuple[str, int]] = [
+        (values[0], attr) for attr, values in enumerate(sorted_values) if values
+    ]
+    heapq.heapify(heap)
+    while heap:
+        smallest = heap[0][0]
+        group = 0
+        members: list[int] = []
+        while heap and heap[0][0] == smallest:
+            __, attr = heapq.heappop(heap)
+            group |= 1 << attr
+            members.append(attr)
+        for attr in members:
+            refs[attr] &= group & ~(1 << attr)
+        for attr in members:
+            cursors[attr] += 1
+            values = sorted_values[attr]
+            if cursors[attr] < len(values):
+                heapq.heappush(heap, (values[cursors[attr]], attr))
+    return refs
+
+
+def spider(index: RelationIndex) -> list[tuple[int, int]]:
+    """Discover all unary INDs; returns ``(dependent, referenced)`` pairs.
+
+    NULLs are ignored (a NULL never violates an inclusion); an all-NULL
+    column is therefore included in every other column.
+    """
+    n = index.n_columns
+    # Sorting phase — duplicate-free lists from the shared PLI build.
+    sorted_values = [
+        sorted(
+            {
+                canonical_value(v)
+                for v in index.distinct_values(column)
+                if v is not None
+            }
+        )
+        for column in range(n)
+    ]
+    refs = _merge_candidates(sorted_values)
+    return sorted(
+        (dependent, referenced)
+        for dependent in range(n)
+        for referenced in range(n)
+        if dependent != referenced and refs[dependent] >> referenced & 1
+    )
+
+
+def spider_on_relation(relation: Relation) -> list[tuple[int, int]]:
+    """Standalone SPIDER including its own read/sort pass (baseline mode)."""
+    return spider(RelationIndex(relation))
+
+
+def spider_across(
+    relations: Sequence[Relation],
+) -> list[tuple[tuple[int, int], tuple[int, int]]]:
+    """Unary INDs across several relations — SPIDER's original setting.
+
+    The holistic algorithms restrict IND discovery to one relation because
+    UCCs and FDs are single-relation concepts (§2.1), but SPIDER itself
+    merges any set of sorted value lists.  Returns pairs of
+    ``(relation_index, column_index)`` locators, dependent first; INDs
+    between columns of the *same* relation are included.
+    """
+    locators: list[tuple[int, int]] = []
+    sorted_values: list[list[str]] = []
+    for relation_index, relation in enumerate(relations):
+        for column in range(relation.n_columns):
+            locators.append((relation_index, column))
+            sorted_values.append(
+                sorted(
+                    {
+                        canonical_value(v)
+                        for v in relation.column(column)
+                        if v is not None
+                    }
+                )
+            )
+    refs = _merge_candidates(sorted_values)
+    return sorted(
+        (locators[dependent], locators[referenced])
+        for dependent in range(len(locators))
+        for referenced in range(len(locators))
+        if dependent != referenced and refs[dependent] >> referenced & 1
+    )

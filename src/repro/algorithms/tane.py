@@ -1,0 +1,143 @@
+"""TANE: level-wise FD discovery with rhs-candidate pruning (Huhtala et al.).
+
+The paper benchmarks MUDS against TANE (§6.3) as the most popular
+stand-alone FD discovery algorithm, so it is part of the reproduction.
+TANE traverses the attribute lattice bottom-up keeping, for every node
+``X``, the rhs-candidate set ``C+(X)``; FDs ``X∖{A} → A`` are validated by
+comparing stripped-partition cardinalities (Lemma 1), candidate sets shrink
+with every found FD, nodes with empty ``C+`` are deleted, and keys are
+pruned after emitting their remaining minimal FDs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lattice.lattice import apriori_gen
+from ..pli.index import RelationIndex
+from ..pli.pli import PLI
+from ..relation.columnset import bit, full_mask, iter_bits
+from ..relation.relation import Relation
+
+__all__ = ["tane", "tane_on_relation", "TaneResult"]
+
+
+@dataclass(slots=True)
+class TaneResult:
+    """Output of a TANE run."""
+
+    #: Minimal non-trivial FDs as ``(lhs_mask, rhs_index)``.
+    fds: list[tuple[int, int]]
+    #: Minimal keys encountered (byproduct of key pruning).
+    minimal_keys: list[int]
+    #: Number of FD validity checks (cardinality comparisons).
+    fd_checks: int
+    #: Number of PLI intersections performed.
+    intersections: int
+    #: Number of lattice nodes visited.
+    visited_nodes: int
+
+
+def tane(index: RelationIndex, include_empty_lhs: bool = False) -> TaneResult:
+    """Discover all minimal FDs of the indexed relation.
+
+    With ``include_empty_lhs`` (off by default to match the paper's
+    lattice, which starts at level 1), constant columns yield ``∅ → A``
+    and suppress every larger left-hand side for that rhs — classic TANE
+    behaviour.
+    """
+    n = index.n_columns
+    n_rows = index.n_rows
+    universe = full_mask(n)
+    fds: list[tuple[int, int]] = []
+    keys: list[int] = []
+    fd_checks = 0
+    intersections = 0
+    visited = 0
+
+    empty_card = 1 if n_rows else 0
+    cards: dict[int, int] = {0: empty_card}
+    cplus: dict[int, int] = {0: universe}
+    plis: dict[int, PLI] = {}
+    level: list[int] = []
+    for column in range(n):
+        mask = bit(column)
+        plis[mask] = index.column_pli(column)
+        cards[mask] = plis[mask].distinct_count
+        level.append(mask)
+
+    while level:
+        visited += len(level)
+        # -- compute dependencies ------------------------------------------
+        for node in level:
+            candidates = universe
+            for column in iter_bits(node):
+                candidates &= cplus[node ^ bit(column)]
+            cplus[node] = candidates
+            for rhs in iter_bits(node & candidates):
+                lhs = node ^ bit(rhs)
+                if lhs == 0 and not include_empty_lhs:
+                    continue
+                fd_checks += 1
+                if cards[lhs] == cards[node]:
+                    fds.append((lhs, rhs))
+                    cplus[node] &= ~bit(rhs)
+                    cplus[node] &= node  # drop every B ∈ R∖X
+
+        # -- prune -----------------------------------------------------------
+        survivors: list[int] = []
+        for node in level:
+            if cplus[node] == 0:
+                continue
+            if cards[node] == n_rows:
+                # Key: emit its remaining minimal FDs, then prune.  The
+                # published condition intersects C+ over sibling nodes
+                # ``X ∪ {A} ∖ {B}``, but siblings pruned away in earlier
+                # levels leave that intersection undefined; we evaluate the
+                # property it encodes — no direct subset determines the
+                # rhs — directly against the data instead.
+                keys.append(node)
+                for rhs in iter_bits(cplus[node] & ~node):
+                    minimal = True
+                    for column in iter_bits(node):
+                        lhs = node ^ bit(column)
+                        if lhs == 0 and not include_empty_lhs:
+                            continue
+                        fd_checks += 1
+                        if index.check_fd(lhs, rhs):
+                            minimal = False
+                            break
+                    if minimal:
+                        fds.append((node, rhs))
+                continue
+            survivors.append(node)
+
+        # -- generate next level ----------------------------------------------
+        next_level = apriori_gen(survivors)
+        next_plis: dict[int, PLI] = {}
+        for candidate in next_level:
+            high = 1 << (candidate.bit_length() - 1)
+            parent = candidate ^ high
+            pli = plis[parent].intersect(index.column_pli(high.bit_length() - 1))
+            intersections += 1
+            next_plis[candidate] = pli
+            cards[candidate] = pli.distinct_count
+        plis = next_plis
+        level = next_level
+
+    fds.sort()
+    keys.sort()
+    return TaneResult(
+        fds=fds,
+        minimal_keys=keys,
+        fd_checks=fd_checks,
+        intersections=intersections,
+        visited_nodes=visited,
+    )
+
+
+def tane_on_relation(
+    relation: Relation, include_empty_lhs: bool = False
+) -> TaneResult:
+    """Standalone TANE including its own read/PLI pass (baseline mode)."""
+    return tane(RelationIndex(relation), include_empty_lhs=include_empty_lhs)

@@ -1,0 +1,23 @@
+"""Value canonicalization shared by IND discovery and its test oracle.
+
+Inclusion dependencies compare *values across columns* (§2.4), so columns
+of mixed Python types need a single comparable domain.  Following CSV
+semantics (Metanome reads everything as strings), values are canonicalized
+to their string form; ``None`` (NULL) stays ``None`` and is skipped by IND
+algorithms because a NULL never violates an inclusion dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["canonical_value"]
+
+
+def canonical_value(value: Any) -> str | None:
+    """Canonical comparable form of a cell value (``None`` for NULL)."""
+    if value is None:
+        return None
+    if isinstance(value, str):
+        return value
+    return str(value)

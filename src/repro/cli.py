@@ -1,0 +1,162 @@
+"""Command-line interface: profile a CSV file (or built-in dataset).
+
+Examples::
+
+    python -m repro data.csv
+    python -m repro data.csv --algorithm muds --json result.json
+    python -m repro --dataset bridges --stats
+    python -m repro data.csv --delimiter ';' --no-header --max-rows 5000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .core.profiler import ALGORITHMS, profile
+from .core.statistics import profile_statistics
+from .metadata.serialize import dumps
+from .relation.csv_io import read_csv
+from .relation.relation import Relation
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Holistic data profiling: discover unary INDs, minimal UCCs, "
+            "and minimal FDs of a relation in one pass (EDBT 2016 "
+            "reproduction)."
+        ),
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("csv", nargs="?", help="path to a CSV file")
+    source.add_argument(
+        "--dataset",
+        help="profile a built-in dataset instead (e.g. bridges, iris)",
+    )
+    parser.add_argument(
+        "--algorithm",
+        choices=ALGORITHMS,
+        default="auto",
+        help="profiling algorithm (default: the paper's §6.5 heuristic)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random-walk seed")
+    parser.add_argument(
+        "--as-published",
+        action="store_true",
+        help="run MUDS exactly as published (skip the completeness walk)",
+    )
+    parser.add_argument("--delimiter", default=",", help="CSV field separator")
+    parser.add_argument(
+        "--no-header",
+        action="store_true",
+        help="CSV has no header row (columns become column_0..n)",
+    )
+    parser.add_argument(
+        "--max-rows", type=int, default=None, help="profile only the first N rows"
+    )
+    parser.add_argument(
+        "--keep-duplicates",
+        action="store_true",
+        help="skip the duplicate-row preprocessing step (§3)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="also print per-column statistics",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the result as JSON (use '-' for stdout)",
+    )
+    return parser
+
+
+def _load(args: argparse.Namespace) -> Relation:
+    if args.dataset:
+        from .datasets.registry import load
+
+        relation = load(args.dataset, n_rows=args.max_rows, seed=args.seed)
+    else:
+        relation = read_csv(
+            args.csv, delimiter=args.delimiter, has_header=not args.no_header
+        )
+        if args.max_rows is not None:
+            relation = relation.head(args.max_rows)
+    if not args.keep_duplicates:
+        relation = relation.deduplicated()
+    return relation
+
+
+def _print_text_report(result, stats_lines: list[str]) -> None:
+    print(result.summary())
+    print("\nunary inclusion dependencies:")
+    for ind in result.inds:
+        print(f"  {ind}")
+    if not result.inds:
+        print("  (none)")
+    print("\nminimal unique column combinations:")
+    for ucc in result.uccs:
+        print(f"  {ucc}")
+    if not result.uccs:
+        print("  (none — the relation has duplicate rows?)")
+    print("\nminimal functional dependencies:")
+    for fd in result.fds:
+        print(f"  {fd}")
+    if not result.fds:
+        print("  (none)")
+    print("\nphase seconds:")
+    for phase, seconds in result.phase_seconds.items():
+        print(f"  {phase:28s} {seconds:10.4f}")
+    for line in stats_lines:
+        print(line)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        relation = _load(args)
+    except (OSError, KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    result = profile(
+        relation,
+        algorithm=args.algorithm,
+        seed=args.seed,
+        verify_completeness=not args.as_published,
+    )
+
+    stats_lines: list[str] = []
+    if args.stats:
+        stats_lines.append("\nper-column statistics:")
+        for stat in profile_statistics(relation):
+            stats_lines.append(
+                f"  {stat.name:24s} distinct={stat.distinct_count:<8d} "
+                f"nulls={stat.null_count:<6d} unique={str(stat.is_unique):5s} "
+                f"top={stat.top_value!r} x{stat.top_frequency}"
+            )
+
+    if args.json:
+        payload = dumps(result)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"result written to {args.json}")
+        for line in stats_lines:
+            print(line)
+    else:
+        _print_text_report(result, stats_lines)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

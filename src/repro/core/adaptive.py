@@ -1,0 +1,125 @@
+"""Adaptive algorithm selection by UCC statistics (§6.5 extension).
+
+The paper's closing discussion proposes an alternative to the
+column-count heuristic: *"Because Muds calculates the minimal UCCs before
+it starts the FD discovery, one could choose Muds' FD discovery part if
+many, large UCCs have been found or the Fun algorithm if few, small UCCs
+are found."*  This module implements exactly that profiler: it always
+performs the shared input pass, SPIDER, and DUCC; then inspects the
+discovered minimal UCCs and routes FD discovery either through MUDS'
+UCC-driven phases or through FUN.
+
+Both routes reuse the already-built index and UCC set, so the decision
+itself costs nothing beyond what a MUDS run would have paid anyway.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from ..algorithms.ducc import ducc
+from ..algorithms.fun import fun
+from ..algorithms.spider import spider
+from ..metadata.results import ProfilingResult
+from ..pli.index import RelationIndex
+from ..relation.columnset import iter_bits, size
+from ..relation.relation import Relation
+from .muds import Muds
+
+__all__ = ["AdaptiveProfiler", "prefer_muds"]
+
+
+def prefer_muds(
+    minimal_uccs: list[int],
+    n_columns: int,
+    min_count: int = 3,
+    min_avg_size: float = 2.0,
+    min_z_fraction: float = 0.5,
+) -> bool:
+    """Decide FD strategy from the discovered minimal UCCs.
+
+    §6.5's criteria for MUDS' sweet spot, turned into thresholds:
+
+    1. enough UCCs for the connector machinery to bite (``min_count``),
+    2. UCCs sitting high enough in the lattice (``min_avg_size``), and
+    3. most columns participating in some UCC, i.e. a small R∖Z
+       (``min_z_fraction``).
+    """
+    if not minimal_uccs or n_columns == 0:
+        return False
+    z_mask = 0
+    for ucc in minimal_uccs:
+        z_mask |= ucc
+    average_size = sum(size(u) for u in minimal_uccs) / len(minimal_uccs)
+    z_fraction = size(z_mask) / n_columns
+    return (
+        len(minimal_uccs) >= min_count
+        and average_size >= min_avg_size
+        and z_fraction >= min_z_fraction
+    )
+
+
+class AdaptiveProfiler:
+    """Holistic profiler that picks its FD strategy from the UCC shape."""
+
+    def __init__(self, seed: int = 0, verify_completeness: bool = True):
+        self.seed = seed
+        self.verify_completeness = verify_completeness
+
+    def profile(self, relation: Relation) -> ProfilingResult:
+        """Profile with shared input pass, SPIDER, DUCC, then the FD
+        strategy §6.5 would pick for this UCC geometry."""
+        started = time.perf_counter()
+        index = RelationIndex(relation)
+        read_seconds = time.perf_counter() - started
+
+        timings = {"read_and_pli": read_seconds}
+        started = time.perf_counter()
+        inds = spider(index)
+        timings["spider"] = time.perf_counter() - started
+
+        rng = random.Random(self.seed)
+        started = time.perf_counter()
+        ducc_result = ducc(index, rng=rng)
+        timings["ducc"] = time.perf_counter() - started
+
+        use_muds = prefer_muds(ducc_result.minimal_uccs, index.n_columns)
+        started = time.perf_counter()
+        if use_muds:
+            # Reuse MUDS end to end; its SPIDER/DUCC phases are cheap
+            # replays on the warm shared index.
+            report = Muds(
+                seed=self.seed, verify_completeness=self.verify_completeness
+            ).run(index)
+            fd_pairs = sorted(
+                (lhs, rhs)
+                for lhs, mask in report.fds.items()
+                for rhs in iter_bits(mask)
+            )
+            strategy = "muds"
+        else:
+            fd_pairs = fun(index).fds
+            strategy = "fun"
+        timings["fd_discovery"] = time.perf_counter() - started
+
+        result = ProfilingResult.from_masks(
+            relation_name=relation.name,
+            column_names=relation.column_names,
+            ind_pairs=inds,
+            ucc_masks=ducc_result.minimal_uccs,
+            fd_pairs=fd_pairs,
+            phase_seconds=timings,
+            counters={
+                "ucc_checks": ducc_result.checks,
+                "fd_checks": index.fd_checks,
+                "pli_intersections": index.intersections,
+            },
+        )
+        result.counters["strategy_muds"] = int(use_muds)
+        return result
+
+    @staticmethod
+    def chosen_strategy(result: ProfilingResult) -> str:
+        """Which FD strategy a finished adaptive run used."""
+        return "muds" if result.counters.get("strategy_muds") else "fun"

@@ -1,0 +1,59 @@
+"""Memoized FD validity checks shared across MUDS phases.
+
+MUDS validates FD candidates in three different phases (§5.1–§5.3), and
+the same (lhs, rhs) pair can surface repeatedly — from different minimal
+UCCs, from shadowed-task generation, and again during minimization.  The
+cache records, per left-hand side, which right-hand sides have been tested
+and which of those held, so every pair hits the PLIs at most once.  It is
+one of the "shared data structures" the holistic approach advertises (§1).
+"""
+
+from __future__ import annotations
+
+from ..pli.index import RelationIndex
+
+__all__ = ["CheckCache"]
+
+
+class CheckCache:
+    """Per-lhs bitmask memo over :meth:`RelationIndex.valid_rhs`."""
+
+    def __init__(self, index: RelationIndex):
+        self.index = index
+        self._tested: dict[int, int] = {}
+        self._valid: dict[int, int] = {}
+        self.memo_hits = 0
+
+    def valid_rhs(self, lhs: int, candidates: int) -> int:
+        """Sub-mask of ``candidates`` functionally determined by ``lhs``."""
+        if candidates == 0:
+            return 0
+        tested = self._tested.get(lhs, 0)
+        todo = candidates & ~tested
+        self.memo_hits += (candidates & tested).bit_count()
+        if todo:
+            newly_valid = self.index.valid_rhs(lhs, todo)
+            self._valid[lhs] = self._valid.get(lhs, 0) | newly_valid
+            self._tested[lhs] = tested | todo
+        return self._valid.get(lhs, 0) & candidates
+
+    def check(self, lhs: int, rhs_index: int) -> bool:
+        """Single-rhs convenience wrapper."""
+        return bool(self.valid_rhs(lhs, 1 << rhs_index))
+
+    def known_invalid(self, rhs_index: int) -> list[int]:
+        """Left-hand sides already observed *not* to determine ``rhs``.
+
+        Used to seed later lattice walks with negative knowledge.
+        """
+        rhs_bit = 1 << rhs_index
+        return [
+            lhs
+            for lhs, tested in self._tested.items()
+            if tested & rhs_bit and not self._valid.get(lhs, 0) & rhs_bit
+        ]
+
+    def known_valid(self, rhs_index: int) -> list[int]:
+        """Left-hand sides already observed to determine ``rhs``."""
+        rhs_bit = 1 << rhs_index
+        return [lhs for lhs, valid in self._valid.items() if valid & rhs_bit]

@@ -1,0 +1,60 @@
+"""Holistic FUN (§3.2): FDs and UCCs simultaneously, plus shared-I/O SPIDER.
+
+FUN must traverse every minimal UCC anyway — minimal UCCs are free sets
+(Lemma 3) and unique free sets are exactly what its key pruning detects —
+so with a small adaption the UCCs are stored and returned instead of being
+discarded, at no extra checking cost.  Combined with running SPIDER on the
+duplicate-free value lists that the shared PLI construction produces, this
+yields all three metadata types from a single input pass: the paper's
+first holistic baseline, consistently ~1/3 faster than sequential
+execution on row-dominated datasets (Fig. 6).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..algorithms.fun import fun
+from ..algorithms.spider import spider
+from ..metadata.results import ProfilingResult
+from ..pli.index import RelationIndex
+from ..relation.relation import Relation
+
+__all__ = ["HolisticFun"]
+
+
+class HolisticFun:
+    """Holistic FUN profiler: one input pass, three result sets."""
+
+    def profile(self, relation: Relation) -> ProfilingResult:
+        """Profile a relation: shared read/PLI pass, SPIDER, then FUN with
+        UCC collection."""
+        started = time.perf_counter()
+        index = RelationIndex(relation)
+        read_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        inds = spider(index)
+        spider_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        fun_result = fun(index)
+        fun_seconds = time.perf_counter() - started
+
+        return ProfilingResult.from_masks(
+            relation_name=relation.name,
+            column_names=relation.column_names,
+            ind_pairs=inds,
+            ucc_masks=fun_result.minimal_uccs,
+            fd_pairs=fun_result.fds,
+            phase_seconds={
+                "read_and_pli": read_seconds,
+                "spider": spider_seconds,
+                "fun": fun_seconds,
+            },
+            counters={
+                "fd_checks": fun_result.fd_checks,
+                "pli_intersections": fun_result.intersections,
+                "free_sets": fun_result.free_sets,
+            },
+        )

@@ -1,0 +1,115 @@
+"""MUDS phase 3a: FDs in connected minimal UCCs (§5.1, Algorithm 1).
+
+Every minimal UCC functionally determines the whole relation, so each one
+is the root of a family of valid (but not necessarily minimal) FDs.  This
+phase minimizes those left-hand sides top-down: starting from each minimal
+UCC it descends through direct subsets, using the *connector lookup*
+(Table 2) to generate right-hand-side candidates — the lhs and rhs of a
+valid FD between UCCs must lie in different, intersecting minimal UCCs —
+and partition refinement to validate them.  A right-hand side still valid
+at some subset cannot be minimal at the superset, which is exactly how the
+recursion of Fig. 4 peels non-minimal FDs away.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..lattice.prefix_tree import PrefixTree
+from ..relation.columnset import direct_subsets
+from .check_cache import CheckCache
+
+__all__ = ["connector_lookup", "minimize_fds_from_uccs"]
+
+
+def connector_lookup(ucc_tree: PrefixTree, connector: int) -> int:
+    """Union of all minimal-UCC remainders over the given connector.
+
+    Matches §5.1 / Table 2: every minimal UCC that is a superset of the
+    connector contributes its non-connector columns as potential right-hand
+    sides.
+    """
+    potential = 0
+    for matched in ucc_tree.supersets_of(connector):
+        potential |= matched & ~connector
+    return potential
+
+
+def _impossible_rhs(ucc_tree: PrefixTree, lhs: int) -> int:
+    """Rule-1 filter: rhs candidates whose union with the lhs fits inside a
+    single minimal UCC cannot form a valid FD (§4, pruning rule 1).
+
+    ``lhs ∪ {a} ⊆ U`` for some minimal UCC ``U`` iff ``U ⊇ lhs`` and
+    ``a ∈ U``, so one superset lookup yields all impossible candidates.
+    """
+    impossible = 0
+    for ucc in ucc_tree.supersets_of(lhs):
+        impossible |= ucc
+    return impossible & ~lhs
+
+
+def minimize_fds_from_uccs(
+    cache: CheckCache,
+    ucc_tree: PrefixTree,
+    minimal_uccs: list[int],
+    z_mask: int,
+) -> dict[int, int]:
+    """Algorithm 1: discover and minimize FDs among overlapping minimal UCCs.
+
+    Parameters
+    ----------
+    cache:
+        Shared FD-check memo over the relation index.
+    ucc_tree:
+        Prefix tree of all minimal UCCs (connector lookups).
+    minimal_uccs:
+        The minimal UCCs discovered by the DUCC phase.
+    z_mask:
+        Union of all minimal UCCs (the set ``Z`` of §4).
+
+    Returns
+    -------
+    dict
+        ``lhs_mask -> rhs_mask`` of discovered FDs.  Right-hand sides are
+        restricted to ``Z``; §5.2 covers the rest.
+    """
+    fds: dict[int, int] = {}
+    # Tasks are (lhs, rhs-closure-to-minimize, originating minimal UCC).
+    # A task's output and children depend only on (lhs, mUcc), so each such
+    # pair is processed once.  Connector and rule-1 lookups recur heavily
+    # across tasks (connectors are shared suffixes of UCCs, subsets are
+    # shared across UCCs), so both are memoized.
+    tasks: deque[tuple[int, int, int]] = deque()
+    visited: set[tuple[int, int]] = set()
+    connectors: dict[int, int] = {}
+    impossible: dict[int, int] = {}
+    for ucc in minimal_uccs:
+        tasks.append((ucc, z_mask & ~ucc, ucc))
+        visited.add((ucc, ucc))
+
+    while tasks:
+        lhs, closure, mucc = tasks.popleft()
+        current_rhs = closure
+        for subset in direct_subsets(lhs):
+            if subset == 0:
+                continue
+            connector = mucc & ~subset
+            potential = connectors.get(connector)
+            if potential is None:
+                potential = connector_lookup(ucc_tree, connector)
+                connectors[connector] = potential
+            potential &= ~subset  # trivial FDs need no check
+            if potential:
+                blocked = impossible.get(subset)
+                if blocked is None:
+                    blocked = _impossible_rhs(ucc_tree, subset)
+                    impossible[subset] = blocked
+                potential &= ~blocked
+            valid = cache.valid_rhs(subset, potential)
+            current_rhs &= ~valid
+            if valid and (subset, mucc) not in visited:
+                visited.add((subset, mucc))
+                tasks.append((subset, valid, mucc))
+        if current_rhs:
+            fds[lhs] = fds.get(lhs, 0) | current_rhs
+    return fds

@@ -1,0 +1,122 @@
+"""3NF schema synthesis from discovered functional dependencies.
+
+Database reverse engineering — one of the applications motivating the
+paper (§1) — often ends in a normalization proposal.  This module turns a
+profiling result into one via Bernstein-style synthesis:
+
+1. compute a canonical cover of the discovered FDs,
+2. group FDs with equivalent left-hand sides into one proposed relation
+   ``lhs ∪ rhs-attributes`` each,
+3. if no proposed relation contains a candidate key of the original
+   relation, add one key relation (lossless-join guarantee),
+4. drop proposed relations subsumed by others.
+
+The output is advisory (schema design needs human judgement), but the
+structural guarantees — dependency preservation by construction, a key
+relation present — are tested properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metadata.cover import attribute_closure, canonical_cover, fds_to_pairs
+from ..metadata.results import ProfilingResult
+from ..relation.columnset import bits, full_mask, is_subset, iter_bits
+from .fds_first import candidate_keys_from_fds
+
+__all__ = ["ProposedRelation", "synthesize_3nf"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProposedRelation:
+    """One relation of a synthesized 3NF schema."""
+
+    columns: tuple[str, ...]
+    #: The determinant the relation was built around (its key), as names;
+    #: empty for the added key relation.
+    key: tuple[str, ...]
+    #: True for the relation added to guarantee a lossless join.
+    is_key_relation: bool = False
+
+    def __str__(self) -> str:
+        key = ", ".join(self.key) if self.key else "whole relation"
+        return f"({', '.join(self.columns)}) with key [{key}]"
+
+
+def synthesize_3nf(result: ProfilingResult) -> list[ProposedRelation]:
+    """Propose a 3NF decomposition from a profiling result.
+
+    Uses the result's FDs (assumed minimal and complete — i.e. a
+    certified MUDS / FUN / TANE output) and its UCCs for the key step.
+    A relation without any FD yields a single proposal covering all
+    columns.
+    """
+    names = result.column_names
+    n = len(names)
+    universe = full_mask(n)
+    pairs = fds_to_pairs(result.fds, names)
+    cover = canonical_cover(pairs)
+    if not cover:
+        return [
+            ProposedRelation(columns=tuple(names), key=(), is_key_relation=True)
+        ]
+
+    # Group the cover by lhs-equivalence (equal closures).
+    groups: dict[int, dict[str, int]] = {}
+    closures: dict[int, int] = {}
+    for lhs, rhs in cover:
+        closures.setdefault(lhs, attribute_closure(lhs, cover))
+    for lhs, rhs in cover:
+        representative = _representative(lhs, closures)
+        group = groups.setdefault(representative, {"lhs": 0, "rhs": 0})
+        group["lhs"] |= lhs
+        group["rhs"] |= 1 << rhs
+
+    proposed: list[tuple[int, int]] = []  # (columns_mask, key_mask)
+    for representative, group in groups.items():
+        proposed.append((group["lhs"] | group["rhs"], representative))
+
+    # Drop proposals subsumed by another proposal.
+    kept: list[tuple[int, int]] = []
+    for columns, key in sorted(proposed, key=lambda p: -p[0].bit_count()):
+        if not any(is_subset(columns, other) for other, __ in kept):
+            kept.append((columns, key))
+
+    relations = [
+        ProposedRelation(
+            columns=tuple(names[i] for i in iter_bits(columns)),
+            key=tuple(names[i] for i in iter_bits(key)),
+        )
+        for columns, key in sorted(kept)
+    ]
+
+    # Lossless join: some proposal must contain a candidate key of R.
+    keys = [
+        u.mask(names) for u in result.uccs
+    ] or candidate_keys_from_fds(cover, n)
+    has_key = any(
+        any(is_subset(key, columns) for columns, __ in kept) for key in keys
+    )
+    if not has_key:
+        key = min(keys, key=lambda k: (k.bit_count(), k)) if keys else universe
+        relations.append(
+            ProposedRelation(
+                columns=tuple(names[i] for i in bits(key)),
+                key=tuple(names[i] for i in bits(key)),
+                is_key_relation=True,
+            )
+        )
+    return relations
+
+
+def _representative(lhs: int, closures: dict[int, int]) -> int:
+    """Canonical representative of an lhs-equivalence class (the smallest
+    lhs with the same closure)."""
+    closure = closures[lhs]
+    equivalents = [
+        other
+        for other, other_closure in closures.items()
+        if other_closure == closure and is_subset(other, closure)
+    ]
+    return min(equivalents, key=lambda m: (m.bit_count(), m))

@@ -1,0 +1,128 @@
+"""MUDS phase 3c: shadowed FD discovery (§4.3, §5.3, Algorithms 2–4).
+
+The UCC-driven minimization only descends through subsets of minimal UCCs,
+so a minimal FD whose left-hand side mixes columns of several UCCs (or of
+R∖Z) is *shadowed*: one of its columns only ever appears on right-hand
+sides along the explored paths.  Phase 3c recovers them:
+
+1. **Task generation** (Algorithm 2): for every discovered FD, every
+   split of its lhs into ``subset + connector`` pulls in the attributes the
+   connector is known to determine; lhs ∪ those attributes is a valid but
+   over-wide left-hand side.
+2. **UCC removal** (Algorithm 3): a lhs containing a whole UCC can never
+   be minimal, so each contained UCC is broken by removing one of its
+   columns — in every combination — before minimizing.
+3. **Minimization** (Algorithm 4): plain top-down minimization over direct
+   subsets, bit-parallel over right-hand sides.
+
+Each generated task is validated against the data immediately (the checks
+dominating the phase's cost in Fig. 8) and only valid ones are minimized.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..lattice.hitting_set import minimal_hitting_sets
+from ..lattice.prefix_tree import PrefixTree
+from ..relation.columnset import all_subsets, direct_subsets
+from .check_cache import CheckCache
+
+__all__ = ["remove_uccs", "generate_shadowed_tasks", "minimize_shadowed_tasks"]
+
+
+def remove_uccs(lhs: int, ucc_tree: PrefixTree) -> list[int]:
+    """Algorithm 3: shrink ``lhs`` until it contains no UCC, in every
+    maximal way.
+
+    For each minimal UCC inside ``lhs`` at least one of its columns must
+    go, so the removed column sets are exactly the hitting sets of the
+    contained UCCs.  The published pseudo-code enumerates the raw cross
+    product of per-UCC choices; we enumerate only the *minimal* hitting
+    sets instead — their complements are the maximal UCC-free reduced
+    left-hand sides, and every non-maximal reduction is a subset of one of
+    them, which the subsequent top-down minimization (Algorithm 4) visits
+    anyway.  This keeps the step polynomial in the output instead of
+    exponential in the number of contained UCCs.
+
+    If ``lhs`` contains no UCC it is returned unchanged.
+    """
+    contained = ucc_tree.subsets_of(lhs)
+    if not contained:
+        return [lhs]
+    return sorted(
+        lhs & ~hitting for hitting in minimal_hitting_sets(contained, lhs)
+    )
+
+
+def generate_shadowed_tasks(
+    cache: CheckCache,
+    ucc_tree: PrefixTree,
+    fds: dict[int, int],
+) -> list[tuple[int, int]]:
+    """Algorithm 2: build (and immediately validate) shadowed-FD tasks.
+
+    Returns validated ``(lhs_mask, rhs_mask)`` pairs ready for
+    :func:`minimize_shadowed_tasks`.  Lookups run against a snapshot of
+    ``fds`` (single pass, as published).
+    """
+    snapshot = dict(fds)
+    tasks: list[tuple[int, int]] = []
+    enqueued: dict[int, int] = {}
+    reductions: dict[int, list[int]] = {}
+    for lhs, rhs_mask in snapshot.items():
+        for subset in all_subsets(lhs):
+            connector = lhs & ~subset
+            shadowed_rhs = snapshot.get(connector, 0)
+            new_lhs = lhs | shadowed_rhs
+            if new_lhs == lhs:
+                continue
+            reduced_set = reductions.get(new_lhs)
+            if reduced_set is None:
+                reduced_set = remove_uccs(new_lhs, ucc_tree)
+                reductions[new_lhs] = reduced_set
+            for reduced in reduced_set:
+                if reduced == 0:
+                    continue
+                wanted = rhs_mask & ~reduced
+                todo = wanted & ~enqueued.get(reduced, 0)
+                if not todo:
+                    continue
+                enqueued[reduced] = enqueued.get(reduced, 0) | todo
+                valid = cache.valid_rhs(reduced, todo)
+                if valid:
+                    tasks.append((reduced, valid))
+    return tasks
+
+
+def minimize_shadowed_tasks(
+    cache: CheckCache,
+    tasks: list[tuple[int, int]],
+    fds: dict[int, int],
+) -> None:
+    """Algorithm 4: top-down minimization of validated shadowed FDs.
+
+    Mutates ``fds`` in place with the minimal results.  Minimality needs
+    only direct subsets: if any deeper subset determined the rhs, so would
+    a direct subset containing it (augmentation).
+    """
+    queue: deque[tuple[int, int]] = deque(tasks)
+    # Bits of each lhs already scheduled, so repeated discoveries of the
+    # same (lhs, rhs) pair are processed once.
+    processed: dict[int, int] = {}
+    for lhs, rhs in tasks:
+        processed[lhs] = processed.get(lhs, 0) | rhs
+    while queue:
+        lhs, rhs = queue.popleft()
+        current_rhs = rhs
+        for subset in direct_subsets(lhs):
+            if subset == 0:
+                continue
+            valid = cache.valid_rhs(subset, rhs)
+            current_rhs &= ~valid
+            new_bits = valid & ~processed.get(subset, 0)
+            if new_bits:
+                processed[subset] = processed.get(subset, 0) | new_bits
+                queue.append((subset, new_bits))
+        if current_rhs:
+            fds[lhs] = fds.get(lhs, 0) | current_rhs

@@ -1,0 +1,103 @@
+"""Single-column statistics profiling.
+
+Data profiling "examines an unknown dataset for its structure and
+*statistical information*" (abstract of the paper); dependency discovery
+is the expensive half, but any practical profiler also reports per-column
+statistics.  This module computes them in one pass over the shared
+:class:`~repro.pli.index.RelationIndex` — the distinct counts fall out of
+the PLIs that the dependency algorithms build anyway, one more shared
+cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..pli.index import RelationIndex
+from ..relation.relation import Relation
+
+__all__ = ["ColumnStatistics", "profile_statistics"]
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnStatistics:
+    """Statistics of one column."""
+
+    name: str
+    n_rows: int
+    distinct_count: int
+    null_count: int
+    is_unique: bool
+    is_constant: bool
+    #: Most frequent value and its frequency (``None`` on empty columns).
+    top_value: Any
+    top_frequency: int
+    #: Min/max over the non-NULL values when they are mutually comparable,
+    #: else ``None``.
+    minimum: Any
+    maximum: Any
+
+    @property
+    def uniqueness_ratio(self) -> float:
+        """distinct / rows — 1.0 for keys, →0 for heavily duplicated."""
+        return self.distinct_count / self.n_rows if self.n_rows else 1.0
+
+    @property
+    def null_ratio(self) -> float:
+        """Fraction of NULL values."""
+        return self.null_count / self.n_rows if self.n_rows else 0.0
+
+
+def profile_statistics(
+    relation: Relation, index: RelationIndex | None = None
+) -> list[ColumnStatistics]:
+    """Compute statistics for every column of a relation.
+
+    Pass a prebuilt ``index`` to share PLIs with dependency discovery.
+    """
+    index = index or RelationIndex(relation)
+    statistics: list[ColumnStatistics] = []
+    for position, name in enumerate(relation.column_names):
+        values = relation.column(position)
+        null_count = sum(1 for value in values if value is None)
+        pli = index.column_pli(position)
+        distinct = pli.distinct_count
+        top_value, top_frequency = _top_group(values, pli)
+        minimum, maximum = _extrema(values)
+        statistics.append(
+            ColumnStatistics(
+                name=name,
+                n_rows=relation.n_rows,
+                distinct_count=distinct,
+                null_count=null_count,
+                is_unique=pli.is_unique and relation.n_rows > 0,
+                is_constant=distinct <= 1 and relation.n_rows > 0,
+                top_value=top_value,
+                top_frequency=top_frequency,
+                minimum=minimum,
+                maximum=maximum,
+            )
+        )
+    return statistics
+
+
+def _top_group(values, pli) -> tuple[Any, int]:
+    if not values:
+        return None, 0
+    if not pli.clusters:
+        return values[0], 1
+    biggest = max(pli.clusters, key=len)
+    return values[biggest[0]], len(biggest)
+
+
+def _extrema(values) -> tuple[Any, Any]:
+    present = [value for value in values if value is not None]
+    if not present:
+        return None, None
+    try:
+        return min(present), max(present)
+    except TypeError:
+        # Mixed incomparable types: fall back to canonical strings.
+        rendered = sorted(str(value) for value in present)
+        return rendered[0], rendered[-1]

@@ -1,0 +1,76 @@
+"""MUDS phase 3b: sub-lattice traversal for right-hand sides in R∖Z
+(§4.2, §5.2, Fig. 3).
+
+Columns outside every minimal UCC (the set ``R∖Z``) can never be found by
+the UCC-driven minimization, so MUDS dedicates one sub-lattice per such
+right-hand side: the lattice over ``R∖{A}`` where every node is a lhs
+candidate for ``A``.  Fixing the rhs makes non-dependencies downward
+closed (Lemma 4), so the DUCC-style random walk with pruning in both
+directions — plus hitting-set hole filling — applies verbatim; it is the
+generic :class:`~repro.lattice.search.LatticeSearch`.
+
+Inter-task pruning: every minimal UCC is seeded as a *known positive*
+(a key determines everything), which spares the walk all checks above the
+UCC border.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..lattice.search import LatticeSearch
+from ..pli.index import RelationIndex
+from ..relation.columnset import bit, full_mask, iter_bits
+
+__all__ = ["discover_r_minus_z", "SublatticeStats"]
+
+
+@dataclass(slots=True)
+class SublatticeStats:
+    """Traversal accounting for the R∖Z phase."""
+
+    sublattices: int = 0
+    fd_checks: int = 0
+    hole_rounds: int = 0
+    #: Maximal non-FD left-hand sides per rhs, reusable as negative
+    #: knowledge by later phases.
+    max_non_fds: dict[int, list[int]] = field(default_factory=dict)
+
+
+def discover_r_minus_z(
+    index: RelationIndex,
+    minimal_uccs: list[int],
+    z_mask: int,
+    rng: random.Random,
+    use_ucc_pruning: bool = True,
+) -> tuple[dict[int, int], SublatticeStats]:
+    """Find all minimal FDs whose rhs lies outside every minimal UCC.
+
+    Returns ``(fds, stats)`` with ``fds`` mapping ``lhs_mask -> rhs_mask``.
+    ``use_ucc_pruning`` exists for the ablation benchmark; disabling it
+    removes the known-positive seeding (§5.2's inter-task pruning) but not
+    correctness.
+    """
+    universe = full_mask(index.n_columns)
+    stats = SublatticeStats()
+    fds: dict[int, int] = {}
+    for rhs in iter_bits(universe & ~z_mask):
+        sub_universe = universe & ~bit(rhs)
+        # Every minimal UCC avoids rhs (rhs ∈ R∖Z), so all of them live in
+        # this sub-lattice and are valid positive seeds.
+        seeds = minimal_uccs if use_ucc_pruning else ()
+        search = LatticeSearch(
+            universe=sub_universe,
+            predicate=lambda lhs, _rhs=rhs: index.check_fd(lhs, _rhs),
+            rng=rng,
+            known_positives=seeds,
+        )
+        minimal_lhs, max_negative = search.run()
+        stats.sublattices += 1
+        stats.fd_checks += search.evaluations
+        stats.hole_rounds += search.hole_rounds
+        stats.max_non_fds[rhs] = max_negative
+        for lhs in minimal_lhs:
+            fds[lhs] = fds.get(lhs, 0) | bit(rhs)
+    return fds, stats

@@ -1,0 +1,17 @@
+"""Dataset substrates: synthetic stand-ins for the paper's workloads."""
+
+from .generators import ionosphere_like, ncvoter_like, uniprot_like
+from .registry import REGISTRY, TABLE3_ROWS, DatasetSpec, load
+from .uci import UCI_NAMES, make
+
+__all__ = [
+    "DatasetSpec",
+    "REGISTRY",
+    "TABLE3_ROWS",
+    "UCI_NAMES",
+    "ionosphere_like",
+    "load",
+    "make",
+    "ncvoter_like",
+    "uniprot_like",
+]

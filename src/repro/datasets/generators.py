@@ -1,0 +1,259 @@
+"""Synthetic stand-ins for the paper's three scalability datasets.
+
+The originals (uniprot, UCI ionosphere, NC voter) are not redistributable
+offline, so each generator reproduces the *dependency geometry* that made
+the dataset interesting for the paper's experiments — see DESIGN.md §2 for
+the substitution rationale:
+
+* :func:`uniprot_like` — row-scalability workload (Fig. 6): wide
+  biological-annotation table, two single-column keys, FDs between
+  annotation columns, and a tail of shadowed FDs that makes MUDS' last
+  phase expensive while keeping all algorithms linear in the row count.
+* :func:`ionosphere_like` — column-scalability workload (Fig. 7): few
+  rows, low-cardinality noisy measurements, minimal UCCs and FDs sitting
+  on mid-to-high lattice levels, which is exactly the regime where
+  level-wise FD search blows up and UCC-first pruning shines.
+* :func:`ncvoter_like` — phase-profiling workload (Fig. 8): a person
+  registry with id keys, composite keys, hierarchy FDs
+  (county → region …), and cross-group dependencies that feed the
+  shadowed-FD machinery.
+
+All generators are deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..relation.relation import Relation
+
+__all__ = ["uniprot_like", "ionosphere_like", "ncvoter_like"]
+
+
+def _mix(*parts: object) -> int:
+    """Deterministic 32-bit hash (``hash()`` is randomized per process)."""
+    value = 2166136261
+    for part in parts:
+        for char in str(part):
+            value = ((value ^ ord(char)) * 16777619) & 0xFFFFFFFF
+        value = (value * 31 + 7) & 0xFFFFFFFF
+    return value
+
+_ORGANISMS = [
+    "Homo sapiens", "Mus musculus", "Rattus norvegicus", "Danio rerio",
+    "Drosophila melanogaster", "Caenorhabditis elegans", "Saccharomyces cerevisiae",
+    "Escherichia coli", "Arabidopsis thaliana", "Gallus gallus", "Bos taurus",
+    "Sus scrofa", "Xenopus laevis", "Oryza sativa", "Zea mays",
+]
+
+_TAXONOMY = {
+    "Homo sapiens": "Eukaryota;Metazoa;Chordata",
+    "Mus musculus": "Eukaryota;Metazoa;Chordata",
+    "Rattus norvegicus": "Eukaryota;Metazoa;Chordata",
+    "Danio rerio": "Eukaryota;Metazoa;Chordata",
+    "Drosophila melanogaster": "Eukaryota;Metazoa;Arthropoda",
+    "Caenorhabditis elegans": "Eukaryota;Metazoa;Nematoda",
+    "Saccharomyces cerevisiae": "Eukaryota;Fungi;Ascomycota",
+    "Escherichia coli": "Bacteria;Proteobacteria",
+    "Arabidopsis thaliana": "Eukaryota;Viridiplantae;Streptophyta",
+    "Gallus gallus": "Eukaryota;Metazoa;Chordata",
+    "Bos taurus": "Eukaryota;Metazoa;Chordata",
+    "Sus scrofa": "Eukaryota;Metazoa;Chordata",
+    "Xenopus laevis": "Eukaryota;Metazoa;Chordata",
+    "Oryza sativa": "Eukaryota;Viridiplantae;Streptophyta",
+    "Zea mays": "Eukaryota;Viridiplantae;Streptophyta",
+}
+
+
+def uniprot_like(n_rows: int, n_columns: int = 10, seed: int = 0) -> Relation:
+    """Protein-annotation table in the spirit of the uniprot export.
+
+    Columns (cycled/truncated to ``n_columns``, minimum 4):
+
+    0. ``accession`` — unique id (single-column key)
+    1. ``entry_name`` — unique name derived from (organism, locus)
+    2. ``organism`` — small categorical domain
+    3. ``locus`` — per-organism counter; (``organism``, ``locus``) is a
+       composite key overlapping the singleton keys' column set
+    4. ``taxonomy`` — determined by ``organism``
+    5. ``gene`` — medium-cardinality categorical
+    6. ``length`` — numeric, many duplicates
+    7. ``mass`` — determined by ``length`` (and vice versa)
+    8. ``reviewed`` — determined by (``organism``, ``gene``) jointly, not
+       by either alone: a shadowed-style dependency crossing groups
+    9. ``existence`` — determined by (``gene``, ``reviewed``)
+
+    Additional columns repeat the annotation pattern with fresh noise.
+    """
+    if n_columns < 4:
+        raise ValueError("uniprot_like needs at least 4 columns")
+    rng = random.Random(seed)
+    accession = [f"P{row:07d}" for row in range(n_rows)]
+    organism = [rng.choice(_ORGANISMS) for _ in range(n_rows)]
+    # Per-organism locus counter: (organism, locus) is a composite key.
+    counters: dict[str, int] = {}
+    locus: list[int] = []
+    for name in organism:
+        counters[name] = counters.get(name, 0) + 1
+        locus.append(counters[name])
+    entry_name = [
+        f"L{lo:06d}_{o.split()[0].upper()}" for o, lo in zip(organism, locus)
+    ]
+    taxonomy = [_TAXONOMY[o] for o in organism]
+    gene = [f"GENE{rng.randrange(max(8, n_rows // 12))}" for _ in range(n_rows)]
+    length = [rng.randrange(50, 120) * 10 for _ in range(n_rows)]
+    mass = [value * 110 + 18 for value in length]
+    reviewed = [
+        "reviewed" if (_mix(o, g) & 3) != 0 else "unreviewed"
+        for o, g in zip(organism, gene)
+    ]
+    existence = [
+        f"PE{(_mix(g, r) % 5) + 1}" for g, r in zip(gene, reviewed)
+    ]
+    columns = [accession, entry_name, organism, locus, taxonomy, gene,
+               length, mass, reviewed, existence]
+    names = ["accession", "entry_name", "organism", "locus", "taxonomy",
+             "gene", "length", "mass", "reviewed", "existence"]
+    while len(columns) < n_columns:
+        extra = len(columns)
+        base = columns[5 + (extra % 3)]  # gene / length / mass
+        columns.append(
+            [f"ANN{(_mix(value, extra) % max(6, n_rows // 60))}" for value in base]
+        )
+        names.append(f"annotation_{extra}")
+    return Relation(
+        names[:n_columns], columns[:n_columns], name=f"uniprot_like[{n_rows}x{n_columns}]"
+    ).deduplicated()
+
+
+def ionosphere_like(n_columns: int, n_rows: int = 351, seed: int = 0) -> Relation:
+    """Radar-measurement table in the spirit of the UCI ionosphere data.
+
+    Few rows, many columns, engineered into the lattice geometry §6.5
+    identifies as MUDS' sweet spot and Fig. 7 exercises:
+
+    * columns 0–4 are quantized *phase* channels — base-4 digits of a
+      distinct pulse id — so the five of them form the one low minimal
+      UCC while every four are pigeonhole-guaranteed non-unique;
+    * heavily saturated binary *signal* channels (the real dataset's ±1
+      saturation) add almost no entropy, so no column mixture below the
+      key ever becomes unique — the lattice below the UCC border stays
+      free, which is exactly what makes level-wise FD search explode
+      exponentially with the column count;
+    * every third added column is a *derived* channel (a deterministic
+      composition of the two previous channels), contributing functional
+      dependencies whose count grows with the width, like the #FDs series
+      of Fig. 7.
+
+    Minimum 6 columns.  Deterministic for a fixed seed.
+    """
+    if n_columns < 6:
+        raise ValueError("ionosphere_like needs at least 6 columns")
+    if n_rows > 4**5:
+        raise ValueError("ionosphere_like supports at most 1024 rows")
+    rng = random.Random(seed)
+    pulse_ids = rng.sample(range(4**5), n_rows)
+    columns: list[list[object]] = [
+        [(pulse >> (2 * digit)) & 3 for pulse in pulse_ids] for digit in range(5)
+    ]
+    names = [f"phase_{digit}" for digit in range(5)]
+    while len(columns) < n_columns:
+        position = len(columns)
+        if position >= 7 and position % 3 == 1:
+            # Derived channel: composition of the two previous channels.
+            left, right = columns[position - 2], columns[position - 1]
+            columns.append(
+                [(_mix(a, b, position) % 5) - 2 for a, b in zip(left, right)]
+            )
+            names.append(f"derived_{position:02d}")
+        else:
+            # Saturated signal channel (±1 with heavy skew).
+            columns.append(
+                [1 if rng.random() < 0.92 else -1 for _ in range(n_rows)]
+            )
+            names.append(f"signal_{position:02d}")
+    return Relation(
+        names[:n_columns], columns[:n_columns], name=f"ionosphere_like[{n_rows}x{n_columns}]"
+    ).deduplicated()
+
+
+_COUNTIES = [
+    ("ALAMANCE", "Central"), ("BRUNSWICK", "Coastal"), ("BUNCOMBE", "Mountain"),
+    ("CABARRUS", "Central"), ("CATAWBA", "Mountain"), ("CUMBERLAND", "Coastal"),
+    ("DURHAM", "Central"), ("FORSYTH", "Central"), ("GUILFORD", "Central"),
+    ("JOHNSTON", "Coastal"), ("MECKLENBURG", "Central"), ("NEW HANOVER", "Coastal"),
+    ("ORANGE", "Central"), ("UNION", "Central"), ("WAKE", "Central"),
+]
+
+_FIRST_NAMES = [
+    "JAMES", "MARY", "JOHN", "PATRICIA", "ROBERT", "JENNIFER", "MICHAEL",
+    "LINDA", "WILLIAM", "ELIZABETH", "DAVID", "BARBARA", "RICHARD", "SUSAN",
+    "JOSEPH", "JESSICA", "THOMAS", "SARAH", "CHARLES", "KAREN",
+]
+
+_LAST_NAMES = [
+    "SMITH", "JOHNSON", "WILLIAMS", "BROWN", "JONES", "GARCIA", "MILLER",
+    "DAVIS", "RODRIGUEZ", "MARTINEZ", "WILSON", "ANDERSON", "TAYLOR",
+    "THOMAS", "MOORE", "JACKSON", "MARTIN", "LEE", "PEREZ", "THOMPSON",
+]
+
+
+def ncvoter_like(n_rows: int, n_columns: int = 20, seed: int = 0) -> Relation:
+    """Voter-registry table in the spirit of the NC voter statistics file.
+
+    The 20 columns model the slice the paper profiles (Fig. 8): two unique
+    identifiers, a handful of independent person/address attributes whose
+    mixtures form composite keys around lattice level 5, and a tail of
+    *derived* columns — hierarchies (county → region, zip → city) and
+    administrative codes determined by column pairs.  The derived tail
+    adds no entropy (so the UCC border stays sparse) but produces exactly
+    the cross-key dependencies whose minimization dominates MUDS' runtime
+    in the paper's phase profile (shadowed FDs).
+    """
+    if n_columns < 5:
+        raise ValueError("ncvoter_like needs at least 5 columns")
+    rng = random.Random(seed)
+    # Entropy sources.
+    county_idx = [rng.randrange(len(_COUNTIES)) for _ in range(n_rows)]
+    county = [_COUNTIES[i][0] for i in county_idx]
+    zip_code = [f"27{rng.randrange(40):03d}" for _ in range(n_rows)]
+    house_number = [rng.randrange(1, max(50, n_rows // 6)) for _ in range(n_rows)]
+    first = [rng.choice(_FIRST_NAMES) for _ in range(n_rows)]
+    last = [rng.choice(_LAST_NAMES) for _ in range(n_rows)]
+    gender = [rng.choice(["M", "F", "U"]) for _ in range(n_rows)]
+    party = [rng.choice(["DEM", "REP", "UNA", "LIB"]) for _ in range(n_rows)]
+    birth_decade = [1930 + 10 * rng.randrange(8) for _ in range(n_rows)]
+    reg_num = list(range(100000, 100000 + n_rows))
+    rng.shuffle(reg_num)
+    voter_id = [f"NC{county_idx[r]:02d}{reg_num[r]:07d}" for r in range(n_rows)]
+    # Derived tail: hierarchies and pair-determined administrative codes.
+    region = [_COUNTIES[i][1] for i in county_idx]
+    city = [f"CITY_{int(z[2:]) % 25:02d}" for z in zip_code]
+    age_group = [f"{d}s" for d in birth_decade]
+    precinct = [f"{c[:3]}-{_mix(c, p) % 9}" for c, p in zip(county, party)]
+    district = [p.split("-")[0] + "D" for p in precinct]
+    ballot_style = [f"BS{_mix(c, p) % 7}" for c, p in zip(county, party)]
+    mail_route = [f"R{_mix(z, g) % 11:02d}" for z, g in zip(zip_code, gender)]
+    phone_area = [f"9{_mix(ct, ag) % 5}9" for ct, ag in zip(city, age_group)]
+    reg_year = [2000 + _mix(c, z) % 20 for c, z in zip(county, zip_code)]
+    vintage = [f"V{(y - 2000) // 5}" for y in reg_year]
+
+    names = [
+        "voter_id", "registration_num", "county", "region", "zip_code",
+        "city", "house_number", "first_name", "last_name", "gender",
+        "birth_decade", "age_group", "party", "precinct", "district",
+        "ballot_style", "mail_route", "phone_area", "reg_year", "vintage",
+    ]
+    columns = [
+        voter_id, reg_num, county, region, zip_code, city, house_number,
+        first, last, gender, birth_decade, age_group, party, precinct,
+        district, ballot_style, mail_route, phone_area, reg_year, vintage,
+    ]
+    while len(columns) < n_columns:
+        extra = len(columns)
+        base = columns[2 + (extra % 10)]
+        columns.append([f"X{_mix(v, extra) % 13}" for v in base])
+        names.append(f"extra_{extra}")
+    return Relation(
+        names[:n_columns], columns[:n_columns], name=f"ncvoter_like[{n_rows}x{n_columns}]"
+    ).deduplicated()

@@ -1,0 +1,81 @@
+"""Named dataset registry with the paper's published reference figures.
+
+Benchmarks and examples look datasets up here; every entry records the
+published shape (columns, rows) and — where the paper reports them — the
+published FD count and runtimes, so EXPERIMENTS.md can print
+paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..relation.relation import Relation
+from . import uci
+from .generators import ionosphere_like, ncvoter_like, uniprot_like
+
+__all__ = ["DatasetSpec", "REGISTRY", "TABLE3_ROWS", "load"]
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetSpec:
+    """Registry entry: published shape plus the stand-in builder."""
+
+    name: str
+    columns: int
+    rows: int
+    builder: Callable[[int | None, int], Relation]
+    #: Minimal FDs the paper reports (Table 3 / Fig. 7), if any.
+    paper_fds: int | None = None
+    #: Published runtimes in seconds: (baseline, hfun, muds, tane).
+    paper_seconds: tuple[float, float, float, float] | None = None
+
+    def make(self, n_rows: int | None = None, seed: int = 0) -> Relation:
+        """Build the stand-in relation (optionally row-scaled)."""
+        return self.builder(n_rows, seed)
+
+
+def _uci_builder(name: str) -> Callable[[int | None, int], Relation]:
+    return lambda n_rows, seed: uci.make(name, n_rows=n_rows, seed=seed)
+
+
+#: Table 3 of the paper, in row order.
+TABLE3_ROWS: tuple[DatasetSpec, ...] = (
+    DatasetSpec("iris", 5, 150, _uci_builder("iris"), 4, (0.1, 0.1, 0.1, 0.6)),
+    DatasetSpec("balance", 5, 625, _uci_builder("balance"), 1, (0.3, 0.1, 0.1, 0.9)),
+    DatasetSpec("chess", 7, 28_056, _uci_builder("chess"), 1, (2.0, 0.9, 1.5, 2.0)),
+    DatasetSpec("abalone", 9, 4_177, _uci_builder("abalone"), 137, (1.3, 0.6, 1.1, 1.0)),
+    DatasetSpec("nursery", 9, 12_960, _uci_builder("nursery"), 1, (2.3, 1.9, 3.1, 3.1)),
+    DatasetSpec("b-cancer", 11, 699, _uci_builder("b-cancer"), 46, (0.8, 0.6, 0.5, 1.4)),
+    DatasetSpec("bridges", 13, 108, _uci_builder("bridges"), 142, (0.8, 0.7, 0.6, 1.3)),
+    DatasetSpec("echocard", 13, 132, _uci_builder("echocard"), 538, (1.0, 0.6, 1.6, 0.8)),
+    DatasetSpec("adult", 14, 48_842, _uci_builder("adult"), 78, (126.0, 118.0, 9.9, 81.2)),
+    DatasetSpec("letter", 17, 20_000, _uci_builder("letter"), 61, (706.0, 636.0, 13.2, 326.0)),
+    DatasetSpec("hepatitis", 20, 155, _uci_builder("hepatitis"), 8_000, (462.0, 450.0, 88.1, 10.9)),
+)
+
+REGISTRY: dict[str, DatasetSpec] = {spec.name: spec for spec in TABLE3_ROWS}
+REGISTRY["uniprot"] = DatasetSpec(
+    "uniprot", 10, 250_000,
+    lambda n_rows, seed: uniprot_like(n_rows or 250_000, n_columns=10, seed=seed),
+)
+REGISTRY["ionosphere"] = DatasetSpec(
+    "ionosphere", 34, 351,
+    lambda n_rows, seed: ionosphere_like(34, n_rows=n_rows or 351, seed=seed),
+)
+REGISTRY["ncvoter"] = DatasetSpec(
+    "ncvoter", 20, 10_000,
+    lambda n_rows, seed: ncvoter_like(n_rows or 10_000, n_columns=20, seed=seed),
+)
+
+
+def load(name: str, n_rows: int | None = None, seed: int = 0) -> Relation:
+    """Build a registered dataset by name (optionally row-scaled)."""
+    try:
+        spec = REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; known: {sorted(REGISTRY)}"
+        ) from None
+    return spec.make(n_rows=n_rows, seed=seed)

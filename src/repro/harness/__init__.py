@@ -1,0 +1,19 @@
+"""Metanome-like execution framework, experiment runner, and reporting."""
+
+from .framework import Execution, Framework, Profiler, default_framework
+from .profile_report import render_profile_report
+from .reporting import ascii_table, markdown_table, series_block
+from .runner import ExperimentRunner, SweepPoint
+
+__all__ = [
+    "Execution",
+    "ExperimentRunner",
+    "Framework",
+    "Profiler",
+    "SweepPoint",
+    "ascii_table",
+    "default_framework",
+    "markdown_table",
+    "render_profile_report",
+    "series_block",
+]

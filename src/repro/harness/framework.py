@@ -1,0 +1,164 @@
+"""Metanome-like execution framework (§6).
+
+The paper runs every algorithm inside the Metanome data-profiling
+framework, which standardizes input handling, execution, and result
+collection so that algorithm comparisons are fair.  This module is the
+equivalent substrate: profilers are registered under a name, executed
+against relations through one code path with wall-clock measurement, and
+their results and metrics are collected uniformly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from ..core.baseline import SequentialBaseline
+from ..core.holistic_fun import HolisticFun
+from ..core.muds import Muds
+from ..metadata.results import ProfilingResult
+from ..relation.relation import Relation
+
+__all__ = ["Profiler", "Execution", "Framework", "default_framework"]
+
+
+class Profiler(Protocol):
+    """Anything that can profile a relation (MUDS, Holistic FUN, ...)."""
+
+    def profile(self, relation: Relation) -> ProfilingResult: ...
+
+
+@dataclass(slots=True)
+class Execution:
+    """One algorithm execution with its measurements."""
+
+    algorithm: str
+    dataset: str
+    n_columns: int
+    n_rows: int
+    seconds: float
+    result: ProfilingResult
+
+    @property
+    def counts(self) -> tuple[int, int, int]:
+        """(#INDs, #UCCs, #FDs) of this execution."""
+        return len(self.result.inds), len(self.result.uccs), len(self.result.fds)
+
+
+class Framework:
+    """Algorithm registry plus a uniform, timed execution path."""
+
+    def __init__(self) -> None:
+        self._profilers: dict[str, Callable[[], Profiler]] = {}
+        self._fd_only: set[str] = set()
+        self.executions: list[Execution] = []
+
+    def register(
+        self, name: str, factory: Callable[[], Profiler], fd_only: bool = False
+    ) -> None:
+        """Register a profiler factory (a fresh instance per execution, so
+        runs never share warm state).  ``fd_only`` marks single-task FD
+        algorithms (TANE) that cannot be compared on INDs/UCCs."""
+        if name in self._profilers:
+            raise ValueError(f"algorithm {name!r} already registered")
+        self._profilers[name] = factory
+        if fd_only:
+            self._fd_only.add(name)
+
+    @property
+    def algorithms(self) -> tuple[str, ...]:
+        """Registered algorithm names."""
+        return tuple(self._profilers)
+
+    def run(self, name: str, relation: Relation) -> Execution:
+        """Execute one registered algorithm on one relation."""
+        try:
+            factory = self._profilers[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown algorithm {name!r}; registered: {self.algorithms}"
+            ) from None
+        profiler = factory()
+        started = time.perf_counter()
+        result = profiler.profile(relation)
+        seconds = time.perf_counter() - started
+        execution = Execution(
+            algorithm=name,
+            dataset=relation.name,
+            n_columns=relation.n_columns,
+            n_rows=relation.n_rows,
+            seconds=seconds,
+            result=result,
+        )
+        self.executions.append(execution)
+        return execution
+
+    def run_all(
+        self,
+        relation: Relation,
+        names: tuple[str, ...] | None = None,
+        check_agreement: bool = True,
+    ) -> list[Execution]:
+        """Execute several (default: all) registered algorithms on one
+        relation; with ``check_agreement`` (default) verify they agree on
+        the discovered metadata (FDs only for ``fd_only`` algorithms)."""
+        from ..metadata.results import fd_signature
+
+        executions = [self.run(name, relation) for name in (names or self.algorithms)]
+        if not check_agreement:
+            return executions
+        full = [e for e in executions if e.algorithm not in self._fd_only]
+        reference = full[0] if full else executions[0]
+        for execution in executions:
+            if execution is reference:
+                continue
+            if execution.algorithm in self._fd_only or not full:
+                agree = fd_signature(reference.result.fds) == fd_signature(
+                    execution.result.fds
+                )
+            else:
+                agree = reference.result.same_metadata(execution.result)
+            if not agree:
+                raise AssertionError(
+                    f"{reference.algorithm} and {execution.algorithm} "
+                    f"disagree on {relation.name}"
+                )
+        return executions
+
+
+def default_framework(seed: int = 0, faithful_muds: bool = True) -> Framework:
+    """Framework with the paper's four contenders registered.
+
+    ``faithful_muds`` selects the as-published MUDS configuration
+    (``verify_completeness=False``) used for benchmark comparisons; pass
+    ``False`` to benchmark the exactness-certifying default instead.
+    """
+    from ..pli.index import RelationIndex  # local import to avoid cycle
+    from ..algorithms.tane import tane
+
+    class _TaneProfiler:
+        """TANE wrapped as a (FD-only) profiler for Table 3 comparisons."""
+
+        def profile(self, relation: Relation) -> ProfilingResult:
+            index = RelationIndex(relation)
+            result = tane(index)
+            return ProfilingResult.from_masks(
+                relation_name=relation.name,
+                column_names=relation.column_names,
+                ucc_masks=result.minimal_keys,
+                fd_pairs=result.fds,
+                counters={
+                    "fd_checks": result.fd_checks,
+                    "pli_intersections": result.intersections,
+                },
+            )
+
+    framework = Framework()
+    framework.register("baseline", lambda: SequentialBaseline(seed=seed))
+    framework.register("hfun", lambda: HolisticFun())
+    framework.register(
+        "muds", lambda: Muds(seed=seed, verify_completeness=not faithful_muds)
+    )
+    framework.register("tane", lambda: _TaneProfiler(), fd_only=True)
+    return framework

@@ -1,0 +1,57 @@
+"""Plain-text reporting for experiment runs.
+
+Benchmarks print the same rows/series the paper's figures and tables show;
+this module renders them as aligned ASCII tables (console) and Markdown
+tables (EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["ascii_table", "markdown_table", "series_block"]
+
+
+def _stringify(rows: Sequence[Sequence[object]]) -> list[list[str]]:
+    return [
+        ["" if cell is None else (f"{cell:.3g}" if isinstance(cell, float) else str(cell))
+         for cell in row]
+        for row in rows
+    ]
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned fixed-width table."""
+    text_rows = _stringify(rows)
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    body = "\n".join(line(row) for row in text_rows)
+    return f"{line(list(headers))}\n{rule}\n{body}" if body else line(list(headers))
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a GitHub-flavored Markdown table."""
+    text_rows = _stringify(rows)
+    head = "| " + " | ".join(headers) + " |"
+    sep = "|" + "|".join("---" for _ in headers) + "|"
+    body = "\n".join("| " + " | ".join(row) + " |" for row in text_rows)
+    return f"{head}\n{sep}\n{body}" if body else f"{head}\n{sep}"
+
+
+def series_block(title: str, x_label: str, series: dict[str, list[tuple[object, float]]]) -> str:
+    """Render figure-style series (one line per (x, y) point per series).
+
+    This is the textual equivalent of a paper figure: for each named
+    series, the x values (rows, columns, ...) and measured values.
+    """
+    lines = [title]
+    for name, points in series.items():
+        lines.append(f"  series {name}:")
+        for x, y in points:
+            lines.append(f"    {x_label}={x}: {y:.3f}")
+    return "\n".join(lines)

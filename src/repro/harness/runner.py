@@ -1,0 +1,73 @@
+"""Experiment runner: parameter sweeps over datasets × algorithms.
+
+The evaluation section's experiments are all of the same shape: build a
+workload for each point of a parameter sweep (rows for Fig. 6, columns for
+Fig. 7, one dataset per Table 3 row), run a set of algorithms on it, and
+collect runtimes and result counts.  :class:`ExperimentRunner` factors that
+loop out of the individual benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..relation.relation import Relation
+from .framework import Execution, Framework
+
+__all__ = ["SweepPoint", "ExperimentRunner"]
+
+
+@dataclass(slots=True)
+class SweepPoint:
+    """One sweep point: a label (x value) and its executions."""
+
+    label: object
+    executions: list[Execution] = field(default_factory=list)
+
+    def seconds(self, algorithm: str) -> float:
+        """Runtime of one algorithm at this point."""
+        for execution in self.executions:
+            if execution.algorithm == algorithm:
+                return execution.seconds
+        raise KeyError(f"no execution of {algorithm!r} at point {self.label!r}")
+
+    def counts(self) -> tuple[int, int, int]:
+        """(#INDs, #UCCs, #FDs) from the first full profiler at this point."""
+        for execution in self.executions:
+            if execution.result.inds or execution.result.uccs:
+                return execution.counts
+        return self.executions[0].counts
+
+
+class ExperimentRunner:
+    """Run algorithms over a workload sweep and collect the series."""
+
+    def __init__(self, framework: Framework, algorithms: tuple[str, ...] | None = None):
+        self.framework = framework
+        self.algorithms = algorithms or framework.algorithms
+
+    def sweep(
+        self,
+        points: list[object],
+        workload: Callable[[object], Relation],
+        check_agreement: bool = True,
+    ) -> list[SweepPoint]:
+        """Execute all algorithms at every sweep point.
+
+        ``workload`` maps a point label (row count, column count, dataset
+        name, ...) to the relation profiled at that point.
+        """
+        results: list[SweepPoint] = []
+        for label in points:
+            relation = workload(label)
+            executions = self.framework.run_all(
+                relation, names=self.algorithms, check_agreement=check_agreement
+            )
+            results.append(SweepPoint(label=label, executions=executions))
+        return results
+
+    @staticmethod
+    def series(points: list[SweepPoint], algorithm: str) -> list[tuple[object, float]]:
+        """Extract one algorithm's (x, seconds) series from a sweep."""
+        return [(point.label, point.seconds(algorithm)) for point in points]

@@ -1,0 +1,26 @@
+"""Lattice substrate: levels, prefix tree, hitting sets, border search."""
+
+from .hitting_set import minimal_hitting_sets, minimalize
+from .lattice import (
+    apriori_gen,
+    fd_candidate_count,
+    ind_candidate_count,
+    level,
+    level_count,
+    ucc_candidate_count,
+)
+from .prefix_tree import PrefixTree
+from .search import LatticeSearch
+
+__all__ = [
+    "LatticeSearch",
+    "PrefixTree",
+    "apriori_gen",
+    "fd_candidate_count",
+    "ind_candidate_count",
+    "level",
+    "level_count",
+    "minimal_hitting_sets",
+    "minimalize",
+    "ucc_candidate_count",
+]

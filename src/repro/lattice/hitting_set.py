@@ -1,0 +1,78 @@
+"""Minimal hitting sets (hypergraph transversals) over column bitmasks.
+
+DUCC's "hole filling" (§2.2) rests on a duality: a column combination is a
+UCC iff it is *not* a subset of any maximal non-UCC, i.e. iff it intersects
+the complement of every maximal non-UCC.  The minimal UCCs are therefore
+exactly the minimal hitting sets of those complements.  The same duality
+holds for FD left-hand sides against maximal non-FD left-hand sides, so the
+generic lattice search (:mod:`repro.lattice.search`) uses this module for
+its convergence check.
+
+The implementation is Berge's incremental algorithm: fold the edge sets in
+one at a time, extending transversals that miss the new edge and
+re-minimalizing.  Exponential in the worst case — as is the problem — but
+the edge sets here are lattice borders, which stay small in practice.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..relation.columnset import bit, iter_bits, size
+
+__all__ = ["minimal_hitting_sets", "minimalize"]
+
+
+def minimalize(masks: Iterable[int]) -> list[int]:
+    """Reduce a family of masks to its minimal antichain (subset-minimal).
+
+    Duplicates are dropped; the result is sorted by (size, value) for
+    deterministic output.  This sits on the hot path of Berge's algorithm,
+    hence the inlined subset test: after size-ascending dedup, a kept mask
+    can only be a *proper* subset of a later one.
+    """
+    unique = sorted(set(masks), key=lambda m: (size(m), m))
+    kept: list[int] = []
+    for mask in unique:
+        inverse = ~mask
+        for existing in kept:
+            if existing & inverse == 0:
+                break
+        else:
+            kept.append(mask)
+    return kept
+
+
+def minimal_hitting_sets(edges: Iterable[int], universe: int | None = None) -> list[int]:
+    """All minimal column sets intersecting every edge.
+
+    Parameters
+    ----------
+    edges:
+        Hyperedges as bitmasks.  An empty *family* has the empty set as its
+        only minimal transversal; a family containing the empty *edge* has
+        none at all.
+    universe:
+        Optional restriction; edge bits outside it are ignored.  If an edge
+        becomes empty under the restriction, there is no transversal.
+    """
+    transversals = [0]
+    # Smaller edges first keeps intermediate transversal families small.
+    for edge in sorted(set(edges), key=lambda e: size(e if universe is None else e & universe)):
+        if universe is not None:
+            edge &= universe
+        if edge == 0:
+            return []
+        hitting = []
+        missing = []
+        for transversal in transversals:
+            (hitting if transversal & edge else missing).append(transversal)
+        if not missing:
+            continue  # every transversal already hits the new edge
+        extended = {
+            transversal | bit(column)
+            for transversal in missing
+            for column in iter_bits(edge)
+        }
+        transversals = minimalize(hitting + list(extended))
+    return transversals

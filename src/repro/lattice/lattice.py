@@ -1,0 +1,87 @@
+"""Attribute-lattice helpers (Fig. 1 of the paper).
+
+The search space of UCC and FD discovery is the powerset lattice of the
+attribute set.  Level-wise algorithms (FUN, TANE) walk it bottom-up; this
+module provides level enumeration and the classic *apriori-gen* candidate
+generation both of them use.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from itertools import combinations
+
+from ..relation.columnset import bits, iter_bits, mask_of
+
+__all__ = [
+    "level",
+    "level_count",
+    "apriori_gen",
+    "ind_candidate_count",
+    "ucc_candidate_count",
+    "fd_candidate_count",
+]
+
+
+def level(universe: int, k: int) -> Iterator[int]:
+    """Yield every size-``k`` subset of ``universe`` (one lattice level)."""
+    columns = bits(universe)
+    if k < 0 or k > len(columns):
+        return
+    for combo in combinations(columns, k):
+        yield mask_of(combo)
+
+
+def level_count(n_columns: int, k: int) -> int:
+    """Number of nodes on level ``k`` of an ``n_columns`` lattice."""
+    from math import comb
+
+    return comb(n_columns, k)
+
+
+def apriori_gen(prev_level: Iterable[int]) -> list[int]:
+    """Generate the next lattice level from surviving nodes of the previous.
+
+    Classic apriori candidate generation: two size-``k`` masks sharing all
+    but their highest column join into a size-``k+1`` candidate, which is
+    kept only if *all* of its ``k``-subsets survived in ``prev_level``.
+    Level-wise algorithms rely on this to inherit subset-based pruning.
+    """
+    survivors = set(prev_level)
+    if not survivors:
+        return []
+    by_prefix: dict[int, list[int]] = {}
+    for mask in survivors:
+        high = 1 << (mask.bit_length() - 1)
+        by_prefix.setdefault(mask ^ high, []).append(high)
+    candidates: list[int] = []
+    for prefix, highs in by_prefix.items():
+        if len(highs) < 2:
+            continue
+        highs.sort()
+        for i, first in enumerate(highs):
+            for second in highs[i + 1 :]:
+                joined = prefix | first | second
+                if all(
+                    joined ^ (1 << col) in survivors for col in iter_bits(joined)
+                ):
+                    candidates.append(joined)
+    candidates.sort()
+    return candidates
+
+
+def ind_candidate_count(n_columns: int) -> int:
+    """Size of the unary IND search space: ``n · (n - 1)`` (§2.1)."""
+    return n_columns * (n_columns - 1)
+
+
+def ucc_candidate_count(n_columns: int) -> int:
+    """Size of the UCC search space: ``2**n - 1`` (§2.2)."""
+    return 2**n_columns - 1
+
+
+def fd_candidate_count(n_columns: int) -> int:
+    """Size of the FD search space: ``Σ_k C(n,k)·(n-k)`` (§2.3)."""
+    from math import comb
+
+    return sum(comb(n_columns, k) * (n_columns - k) for k in range(1, n_columns + 1))

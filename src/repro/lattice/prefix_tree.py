@@ -1,0 +1,214 @@
+"""Prefix tree over column combinations (§5.4, Fig. 5).
+
+MUDS performs two kinds of lookups against the set of minimal UCCs, both of
+which degrade to linear scans with a plain list:
+
+* **subset lookup** — all stored combinations that are subsets of a given
+  column combination (used by the shadowed-FD pruning of Algorithm 3), and
+* **superset lookup** — all stored combinations that are supersets of a
+  given *connector* (the connector lookup of §5.1, Table 2).
+
+Following the paper, combinations are stored as ascending column-index
+paths in a trie; a combination ends at a terminal node.  Lookups prune
+whole sub-trees by comparing the next tree column against the probe set.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from ..relation.columnset import bit, bits, iter_bits
+
+__all__ = ["PrefixTree"]
+
+
+class _Node:
+    __slots__ = ("children", "terminal")
+
+    def __init__(self) -> None:
+        self.children: dict[int, _Node] = {}
+        self.terminal = False
+
+
+class PrefixTree:
+    """Set of column bitmasks with fast subset/superset retrieval."""
+
+    def __init__(self, masks: Iterable[int] = ()):
+        self._root = _Node()
+        self._size = 0
+        for mask in masks:
+            self.add(mask)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[int]:
+        yield from self._iter_from(self._root, 0)
+
+    def _iter_from(self, node: _Node, prefix: int) -> Iterator[int]:
+        if node.terminal:
+            yield prefix
+        for column in sorted(node.children):
+            yield from self._iter_from(node.children[column], prefix | bit(column))
+
+    def add(self, mask: int) -> None:
+        """Insert a column combination (idempotent)."""
+        if mask == 0:
+            raise ValueError("cannot store the empty column combination")
+        node = self._root
+        for column in iter_bits(mask):
+            node = node.children.setdefault(column, _Node())
+        if not node.terminal:
+            node.terminal = True
+            self._size += 1
+
+    def remove(self, mask: int) -> bool:
+        """Remove a combination; returns False if it was not stored.
+
+        Nodes left without terminals or children are pruned so lookups do
+        not wade through dead branches (the lattice search removes border
+        entries constantly as knowledge tightens).
+        """
+        path: list[tuple[_Node, int]] = []
+        node = self._root
+        for column in iter_bits(mask):
+            child = node.children.get(column)
+            if child is None:
+                return False
+            path.append((node, column))
+            node = child
+        if not node.terminal:
+            return False
+        node.terminal = False
+        self._size -= 1
+        for parent, column in reversed(path):
+            child = parent.children[column]
+            if child.terminal or child.children:
+                break
+            del parent.children[column]
+        return True
+
+    def __contains__(self, mask: int) -> bool:
+        node = self._root
+        for column in iter_bits(mask):
+            child = node.children.get(column)
+            if child is None:
+                return False
+            node = child
+        return node.terminal
+
+    # -- subset lookup ---------------------------------------------------------
+
+    def subsets_of(self, mask: int) -> list[int]:
+        """All stored combinations that are subsets of ``mask``.
+
+        This is the §5.4 lookup: descend only along columns present in
+        ``mask``; every terminal reached on the way is a subset.
+        """
+        found: list[int] = []
+        self._subsets(self._root, bits(mask), 0, 0, found)
+        return found
+
+    def _subsets(
+        self,
+        node: _Node,
+        columns: tuple[int, ...],
+        start: int,
+        prefix: int,
+        found: list[int],
+    ) -> None:
+        if node.terminal:
+            found.append(prefix)
+        children = node.children
+        if not children:
+            return
+        for position in range(start, len(columns)):
+            column = columns[position]
+            child = children.get(column)
+            if child is not None:
+                self._subsets(child, columns, position + 1, prefix | bit(column), found)
+
+    def contains_subset_of(self, mask: int) -> bool:
+        """True iff some stored combination is a subset of ``mask``.
+
+        Early-exit variant of :meth:`subsets_of`; the dominant check of the
+        shadowed-FD phase (a lhs containing a UCC cannot be minimal).
+        """
+        return self._has_subset(self._root, bits(mask), 0)
+
+    def _has_subset(self, node: _Node, columns: tuple[int, ...], start: int) -> bool:
+        if node.terminal:
+            return True
+        children = node.children
+        if not children:
+            return False
+        for position in range(start, len(columns)):
+            child = children.get(columns[position])
+            if child is not None and self._has_subset(child, columns, position + 1):
+                return True
+        return False
+
+    # -- superset lookup ---------------------------------------------------------
+
+    def supersets_of(self, mask: int) -> list[int]:
+        """All stored combinations that are supersets of ``mask``.
+
+        This is the connector lookup of §5.1: a branch is viable only while
+        its next column does not skip past the smallest still-uncovered
+        probe column (tree paths ascend).
+        """
+        found: list[int] = []
+        self._supersets(self._root, bits(mask), 0, 0, found)
+        return found
+
+    def _supersets(
+        self,
+        node: _Node,
+        required: tuple[int, ...],
+        covered: int,
+        prefix: int,
+        found: list[int],
+    ) -> None:
+        if covered == len(required):
+            # Every remaining terminal below this node qualifies.
+            found.extend(self._iter_from(node, prefix))
+            return
+        need = required[covered]
+        for column, child in node.children.items():
+            if column > need:
+                continue  # would skip the required column for good
+            self._supersets(
+                child,
+                required,
+                covered + (1 if column == need else 0),
+                prefix | bit(column),
+                found,
+            )
+
+    def has_superset_of(self, mask: int) -> bool:
+        """True iff some stored combination is a superset of ``mask``.
+
+        Early-exit variant of :meth:`supersets_of`; MUDS uses it for the
+        rule-1 filter (an FD whose lhs ∪ rhs fits inside one minimal UCC
+        cannot exist) and for key pruning.
+        """
+        return self._has_superset(self._root, bits(mask), 0)
+
+    def _has_superset(self, node: _Node, required: tuple[int, ...], covered: int) -> bool:
+        if covered == len(required):
+            return self._size > 0 and self._reaches_terminal(node)
+        need = required[covered]
+        for column, child in node.children.items():
+            if column > need:
+                continue
+            if self._has_superset(child, required, covered + (1 if column == need else 0)):
+                return True
+        return False
+
+    def _reaches_terminal(self, node: _Node) -> bool:
+        if node.terminal:
+            return True
+        return any(self._reaches_terminal(child) for child in node.children.values())
+
+    def __repr__(self) -> str:
+        return f"PrefixTree({self._size} combinations)"

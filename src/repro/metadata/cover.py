@@ -1,0 +1,104 @@
+"""FD-set reasoning: closures, implication, covers, equivalence.
+
+Dependency discovery hands back a minimal FD set; downstream tasks —
+schema normalization, constraint maintenance, comparing profiling runs —
+need Armstrong-style reasoning over such sets.  Everything here operates
+on ``(lhs_mask, rhs_index)`` pairs, the same representation the
+algorithms use internally.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from ..relation.columnset import bit, iter_bits
+from .fd import FD
+
+__all__ = [
+    "attribute_closure",
+    "implies",
+    "equivalent",
+    "canonical_cover",
+    "fds_to_pairs",
+    "pairs_to_fds",
+]
+
+
+def attribute_closure(attrs: int, fds: Iterable[tuple[int, int]]) -> int:
+    """Closure of an attribute set under an FD list (Armstrong fixpoint).
+
+    Linear-ish fixpoint: iterate until no FD fires anymore.
+    """
+    fd_list = list(fds)
+    closure = attrs
+    changed = True
+    while changed:
+        changed = False
+        for lhs, rhs in fd_list:
+            rhs_bit = 1 << rhs
+            if not closure & rhs_bit and lhs & ~closure == 0:
+                closure |= rhs_bit
+                changed = True
+    return closure
+
+
+def implies(fds: Iterable[tuple[int, int]], lhs: int, rhs: int) -> bool:
+    """True iff the FD set logically implies ``lhs → rhs``."""
+    return bool(attribute_closure(lhs, fds) >> rhs & 1)
+
+
+def equivalent(
+    first: Iterable[tuple[int, int]], second: Iterable[tuple[int, int]]
+) -> bool:
+    """True iff two FD sets imply each other (same logical closure)."""
+    first_list, second_list = list(first), list(second)
+    return all(
+        implies(second_list, lhs, rhs) for lhs, rhs in first_list
+    ) and all(implies(first_list, lhs, rhs) for lhs, rhs in second_list)
+
+
+def canonical_cover(fds: Iterable[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Minimal cover: no redundant FDs, no extraneous lhs attributes.
+
+    Classic two-step reduction: first left-reduce every FD (drop lhs
+    attributes whose removal keeps the FD implied), then drop FDs implied
+    by the rest.  The result implies exactly the same closure (tested
+    property) and is deterministic for a given input order modulo the
+    final sort.
+    """
+    working = sorted(set(fds))
+    # Left-reduction.
+    reduced: list[tuple[int, int]] = []
+    for lhs, rhs in working:
+        current = lhs
+        for column in iter_bits(lhs):
+            candidate = current & ~bit(column)
+            if implies(working, candidate, rhs):
+                current = candidate
+        reduced.append((current, rhs))
+    reduced = sorted(set(reduced))
+    # Redundancy elimination.
+    essential: list[tuple[int, int]] = list(reduced)
+    for fd in reduced:
+        rest = [other for other in essential if other != fd]
+        if implies(rest, fd[0], fd[1]):
+            essential = rest
+    return sorted(essential)
+
+
+def fds_to_pairs(fds: Iterable[FD], column_names: Sequence[str]) -> list[tuple[int, int]]:
+    """Convert named FDs to ``(lhs_mask, rhs_index)`` pairs."""
+    position = {name: i for i, name in enumerate(column_names)}
+    return sorted(
+        (fd.lhs_mask(column_names), position[fd.rhs]) for fd in fds
+    )
+
+
+def pairs_to_fds(
+    pairs: Iterable[tuple[int, int]], column_names: Sequence[str]
+) -> list[FD]:
+    """Convert ``(lhs_mask, rhs_index)`` pairs to named FDs."""
+    return sorted(
+        FD(tuple(column_names[i] for i in iter_bits(lhs)), column_names[rhs])
+        for lhs, rhs in pairs
+    )

@@ -1,0 +1,49 @@
+"""Functional dependencies (§2.3)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..relation.columnset import mask_of
+
+__all__ = ["FD"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class FD:
+    """A functional dependency ``lhs → rhs`` with a single right-hand side.
+
+    Discovery algorithms emit *minimal, non-trivial* FDs: ``rhs ∉ lhs`` and
+    no proper subset of ``lhs`` determines ``rhs``.  Multi-rhs notation
+    (``X → YZ``) is just shorthand for several single-rhs FDs; results use
+    the canonical single-rhs form.
+    """
+
+    lhs: tuple[str, ...]
+    rhs: str
+
+    def __init__(self, lhs: Sequence[str], rhs: str):
+        left = tuple(lhs)
+        if len(set(left)) != len(left):
+            raise ValueError(f"duplicate columns in FD left-hand side {left!r}")
+        if rhs in left:
+            raise ValueError(f"trivial FD {left!r} → {rhs!r}")
+        object.__setattr__(self, "lhs", left)
+        object.__setattr__(self, "rhs", rhs)
+
+    def sorted_by_schema(self, column_names: Sequence[str]) -> "FD":
+        """Return a copy with the lhs ordered by schema position."""
+        position = {name: i for i, name in enumerate(column_names)}
+        return FD(tuple(sorted(self.lhs, key=position.__getitem__)), self.rhs)
+
+    def lhs_mask(self, column_names: Sequence[str]) -> int:
+        """Bitmask of the left-hand side under the given schema."""
+        position = {name: i for i, name in enumerate(column_names)}
+        return mask_of(position[c] for c in self.lhs)
+
+    def __len__(self) -> int:
+        return len(self.lhs)
+
+    def __str__(self) -> str:
+        return ", ".join(self.lhs) + " → " + self.rhs

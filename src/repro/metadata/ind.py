@@ -1,0 +1,28 @@
+"""Unary inclusion dependencies (§2.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["IND"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class IND:
+    """A unary inclusion dependency ``dependent ⊆ referenced``.
+
+    Every (non-NULL) value of the dependent column also occurs in the
+    referenced column.  The paper restricts holistic discovery to unary
+    INDs within one relation (§2.1), which is what all algorithms here
+    emit.
+    """
+
+    dependent: str
+    referenced: str
+
+    def __post_init__(self) -> None:
+        if self.dependent == self.referenced:
+            raise ValueError(f"trivial IND {self.dependent} ⊆ {self.dependent}")
+
+    def __str__(self) -> str:
+        return f"{self.dependent} ⊆ {self.referenced}"

@@ -1,0 +1,78 @@
+"""Approximation measures for almost-dependencies.
+
+The exact algorithms of the paper decide dependencies binarily, but the
+underlying stripped partitions also support the classic *error measures*
+from the TANE line of work (and the "soft FD" perspective of CORDS, the
+paper's related work):
+
+* ``g3`` for FDs — the minimum fraction of rows to remove so that
+  ``X → A`` holds exactly (0.0 = exact FD);
+* uniqueness error for UCCs — the fraction of rows to remove so that the
+  projection becomes duplicate-free (0.0 = exact UCC);
+* containment ratio for unary INDs — the fraction of the dependent
+  column's distinct values found in the referenced column (1.0 = exact
+  IND).
+
+These let users rank near-misses instead of only seeing the exact sets.
+"""
+
+from __future__ import annotations
+
+from ..algorithms.values import canonical_value
+from ..pli.index import RelationIndex
+from ..relation.relation import Relation
+
+__all__ = ["fd_error", "ucc_error", "ind_containment"]
+
+
+def fd_error(index: RelationIndex, lhs_mask: int, rhs_index: int) -> float:
+    """g3 error of the FD ``lhs → rhs``: 0.0 iff the FD holds exactly.
+
+    For every lhs cluster, all rows except those sharing the cluster's
+    most frequent rhs value must be removed; g3 is that total, normalized
+    by the row count.
+    """
+    if index.n_rows == 0:
+        return 0.0
+    if lhs_mask == 0:
+        vector = index.vector(rhs_index)
+        counts: dict[int, int] = {}
+        for value in vector:
+            counts[value] = counts.get(value, 0) + 1
+        keep = max(counts.values(), default=0)
+        return (index.n_rows - keep) / index.n_rows
+    rhs_vector = index.vector(rhs_index)
+    removals = 0
+    for cluster in index.pli(lhs_mask).clusters:
+        counts: dict[int, int] = {}
+        for row in cluster:
+            value = rhs_vector[row]
+            counts[value] = counts.get(value, 0) + 1
+        removals += len(cluster) - max(counts.values())
+    return removals / index.n_rows
+
+
+def ucc_error(index: RelationIndex, mask: int) -> float:
+    """Uniqueness error: fraction of rows to drop for ``mask`` to be a UCC."""
+    if index.n_rows == 0:
+        return 0.0
+    if mask == 0:
+        return (index.n_rows - 1) / index.n_rows if index.n_rows > 1 else 0.0
+    return index.pli(mask).error / index.n_rows
+
+
+def ind_containment(relation: Relation, dependent: int, referenced: int) -> float:
+    """Containment ratio of the unary IND candidate ``dependent ⊆ referenced``.
+
+    NULLs are ignored on both sides; an empty (all-NULL) dependent column
+    is fully contained by convention (ratio 1.0).
+    """
+    dep_values = {
+        canonical_value(v) for v in relation.column(dependent) if v is not None
+    }
+    if not dep_values:
+        return 1.0
+    ref_values = {
+        canonical_value(v) for v in relation.column(referenced) if v is not None
+    }
+    return len(dep_values & ref_values) / len(dep_values)

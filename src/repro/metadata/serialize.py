@@ -1,0 +1,84 @@
+"""JSON (de)serialization of profiling results.
+
+Metanome persists algorithm results so downstream tools can consume them
+without re-profiling; this module provides the equivalent for
+:class:`~repro.metadata.results.ProfilingResult` — a stable, versioned
+JSON document with lossless round-tripping.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .fd import FD
+from .ind import IND
+from .results import ProfilingResult
+from .ucc import UCC
+
+__all__ = ["result_to_dict", "result_from_dict", "dumps", "loads"]
+
+FORMAT_VERSION = 1
+
+
+def result_to_dict(result: ProfilingResult) -> dict[str, Any]:
+    """Plain-dict form of a result (JSON-ready)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "relation": result.relation_name,
+        "columns": list(result.column_names),
+        "inds": [
+            {"dependent": ind.dependent, "referenced": ind.referenced}
+            for ind in result.inds
+        ],
+        "uccs": [list(ucc.columns) for ucc in result.uccs],
+        "fds": [{"lhs": list(fd.lhs), "rhs": fd.rhs} for fd in result.fds],
+        "phase_seconds": dict(result.phase_seconds),
+        "counters": dict(result.counters),
+    }
+
+
+def result_from_dict(document: dict[str, Any]) -> ProfilingResult:
+    """Rebuild a result from its dict form (validating the schema)."""
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    columns = tuple(document["columns"])
+    known = set(columns)
+    inds = []
+    for entry in document["inds"]:
+        if entry["dependent"] not in known or entry["referenced"] not in known:
+            raise ValueError(f"IND references unknown column: {entry}")
+        inds.append(IND(entry["dependent"], entry["referenced"]))
+    uccs = []
+    for entry in document["uccs"]:
+        if not set(entry) <= known:
+            raise ValueError(f"UCC references unknown column: {entry}")
+        uccs.append(UCC(tuple(entry)))
+    fds = []
+    for entry in document["fds"]:
+        if not set(entry["lhs"]) <= known or entry["rhs"] not in known:
+            raise ValueError(f"FD references unknown column: {entry}")
+        fds.append(FD(tuple(entry["lhs"]), entry["rhs"]))
+    return ProfilingResult(
+        relation_name=document["relation"],
+        column_names=columns,
+        inds=sorted(inds),
+        uccs=sorted(uccs),
+        fds=sorted(fds),
+        phase_seconds=dict(document.get("phase_seconds", {})),
+        counters=dict(document.get("counters", {})),
+    )
+
+
+def dumps(result: ProfilingResult, indent: int | None = 2) -> str:
+    """Serialize a result to a JSON string."""
+    return json.dumps(result_to_dict(result), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> ProfilingResult:
+    """Parse a result from a JSON string."""
+    return result_from_dict(json.loads(text))

@@ -1,0 +1,46 @@
+"""Unique column combinations (§2.2)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..relation.columnset import mask_of
+
+__all__ = ["UCC"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class UCC:
+    """A (minimal, when emitted by the discovery algorithms) unique column
+    combination: the projection on ``columns`` contains no duplicates.
+
+    ``columns`` is stored in schema order, so equal combinations compare
+    equal regardless of construction order.
+    """
+
+    columns: tuple[str, ...]
+
+    def __init__(self, columns: Sequence[str]):
+        ordered = tuple(columns)
+        if not ordered:
+            raise ValueError("a UCC needs at least one column")
+        if len(set(ordered)) != len(ordered):
+            raise ValueError(f"duplicate columns in UCC {ordered!r}")
+        object.__setattr__(self, "columns", ordered)
+
+    def sorted_by_schema(self, column_names: Sequence[str]) -> "UCC":
+        """Return a copy with columns ordered by schema position."""
+        position = {name: i for i, name in enumerate(column_names)}
+        return UCC(tuple(sorted(self.columns, key=position.__getitem__)))
+
+    def mask(self, column_names: Sequence[str]) -> int:
+        """Bitmask of this combination under the given schema."""
+        position = {name: i for i, name in enumerate(column_names)}
+        return mask_of(position[c] for c in self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(self.columns) + "}"

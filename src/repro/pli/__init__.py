@@ -1,0 +1,14 @@
+"""Position list index substrate (stripped partitions, cache, index)."""
+
+from .cache import PliCache
+from .index import RelationIndex
+from .pli import PLI, pli_from_column, pli_from_vector, value_vector
+
+__all__ = [
+    "PLI",
+    "PliCache",
+    "RelationIndex",
+    "pli_from_column",
+    "pli_from_vector",
+    "value_vector",
+]

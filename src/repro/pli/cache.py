@@ -1,0 +1,81 @@
+"""Bounded cache for PLIs of column combinations.
+
+The holistic algorithms (DUCC's random walk, MUDS' sub-lattice walks and
+shadowed-FD checks) revisit overlapping column combinations constantly; the
+paper shares one PLI store across all tasks ("shared data structures").
+This cache keys PLIs by column bitmask.  Single-column PLIs are pinned —
+they are the generators of everything else — while composite PLIs are
+evicted in least-recently-used order once ``capacity`` is exceeded.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..relation.columnset import size
+from .pli import PLI
+
+__all__ = ["PliCache"]
+
+
+class PliCache:
+    """LRU cache of ``mask -> PLI`` with pinned single-column entries."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._pinned: dict[int, PLI] = {}
+        self._entries: OrderedDict[int, PLI] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._pinned) + len(self._entries)
+
+    def __contains__(self, mask: int) -> bool:
+        return mask in self._pinned or mask in self._entries
+
+    def get(self, mask: int) -> PLI | None:
+        """Return the cached PLI for ``mask`` or ``None`` (counts stats)."""
+        pli = self._pinned.get(mask)
+        if pli is not None:
+            self.hits += 1
+            return pli
+        pli = self._entries.get(mask)
+        if pli is not None:
+            self._entries.move_to_end(mask)
+            self.hits += 1
+            return pli
+        self.misses += 1
+        return None
+
+    def peek(self, mask: int) -> PLI | None:
+        """Like :meth:`get` but without touching LRU order or stats."""
+        return self._pinned.get(mask) or self._entries.get(mask)
+
+    def put(self, mask: int, pli: PLI) -> None:
+        """Insert a PLI; single-column masks are pinned permanently."""
+        if size(mask) <= 1:
+            self._pinned[mask] = pli
+            return
+        self._entries[mask] = pli
+        self._entries.move_to_end(mask)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear_composites(self) -> None:
+        """Drop every non-pinned entry (e.g. between profiling phases)."""
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"PliCache({len(self)} entries, capacity={self.capacity}, "
+            f"hit_rate={self.hit_rate:.2f})"
+        )

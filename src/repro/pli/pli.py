@@ -1,0 +1,177 @@
+"""Position list indexes (PLIs), a.k.a. stripped partitions.
+
+A PLI for a column combination ``X`` lists, for every value combination that
+occurs more than once, the set of row ids sharing it (§2.2 of the paper).
+Clusters of size one carry no information for uniqueness or refinement
+checks and are *stripped*.
+
+Three operations drive all UCC/FD discovery:
+
+* :func:`pli_from_column` — build the PLI of a single column,
+* :meth:`PLI.intersect` — combine ``PLI(X)`` and ``PLI(Y)`` into
+  ``PLI(X ∪ Y)`` by pairwise id-set intersection,
+* :meth:`PLI.refines` — the partition-refinement FD check of Lemma 1:
+  ``X → A  ⇔  |X| = |X ∪ {A}|``, evaluated without materializing
+  ``PLI(X ∪ {A})`` by probing a dense value vector of ``A``.
+
+NULL semantics: ``None`` is treated as a regular value equal to itself, the
+Metanome default for FD/UCC discovery.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+__all__ = ["PLI", "pli_from_column", "value_vector", "pli_from_vector"]
+
+
+def value_vector(values: Sequence[Any]) -> list[int]:
+    """Map a column to dense value ids (equal values share one id).
+
+    The resulting vector is the probe side of :meth:`PLI.refines` and a
+    compact surrogate for the raw column in all positional algorithms.
+    """
+    ids: dict[Any, int] = {}
+    vector: list[int] = []
+    for value in values:
+        identifier = ids.setdefault(value, len(ids))
+        vector.append(identifier)
+    return vector
+
+
+class PLI:
+    """A stripped partition over ``n_rows`` rows.
+
+    ``clusters`` holds only id-groups of size ≥ 2, each sorted ascending;
+    the clusters themselves are ordered by their smallest row id so that
+    equal partitions have equal representations.
+    """
+
+    __slots__ = ("clusters", "n_rows")
+
+    def __init__(self, clusters: Sequence[Sequence[int]], n_rows: int):
+        normalized = sorted(
+            tuple(sorted(cluster)) for cluster in clusters if len(cluster) >= 2
+        )
+        self.clusters: tuple[tuple[int, ...], ...] = tuple(normalized)
+        self.n_rows = n_rows
+
+    # -- derived measures --------------------------------------------------
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of (stripped) clusters."""
+        return len(self.clusters)
+
+    @property
+    def n_clustered_rows(self) -> int:
+        """Total number of rows that appear in some cluster."""
+        return sum(len(cluster) for cluster in self.clusters)
+
+    @property
+    def error(self) -> int:
+        """TANE's ``e`` measure: rows that would need to be removed to make
+        the column combination unique (``Σ|c| - #clusters``)."""
+        return self.n_clustered_rows - self.n_clusters
+
+    @property
+    def distinct_count(self) -> int:
+        """Cardinality ``|X|_r`` of the projection (Lemma 1's measure)."""
+        return self.n_rows - self.error
+
+    @property
+    def is_unique(self) -> bool:
+        """True iff the column combination is a UCC (empty stripped PLI)."""
+        return not self.clusters
+
+    # -- algebra -------------------------------------------------------------
+
+    def intersect(self, other: "PLI") -> "PLI":
+        """Return the PLI of the united column combination.
+
+        Standard probe-table intersection (§2.2): rows that share a cluster
+        in *both* inputs end up in a common output cluster.
+        """
+        if self.n_rows != other.n_rows:
+            raise ValueError(
+                f"cannot intersect PLIs over {self.n_rows} and {other.n_rows} rows"
+            )
+        # Probe the smaller side for speed; intersection is commutative.
+        small, large = (
+            (self, other) if self.n_clustered_rows <= other.n_clustered_rows else (other, self)
+        )
+        probe: dict[int, int] = {}
+        for cluster_id, cluster in enumerate(large.clusters):
+            for row in cluster:
+                probe[row] = cluster_id
+        result: list[list[int]] = []
+        for cluster in small.clusters:
+            groups: dict[int, list[int]] = {}
+            for row in cluster:
+                other_cluster = probe.get(row)
+                if other_cluster is not None:
+                    groups.setdefault(other_cluster, []).append(row)
+            # Singletons would be stripped by the constructor anyway;
+            # filtering here avoids building tuples for them.
+            for group in groups.values():
+                if len(group) >= 2:
+                    result.append(group)
+        return PLI(result, self.n_rows)
+
+    def refines(self, vector: Sequence[int]) -> bool:
+        """Partition-refinement FD check (Lemma 1).
+
+        ``self`` is ``PLI(X)`` and ``vector`` the dense value vector of a
+        candidate right-hand side ``A``; returns True iff ``X → A``, i.e.
+        every cluster of ``X`` is value-constant in ``A``.
+        """
+        for cluster in self.clusters:
+            first = vector[cluster[0]]
+            for row in cluster[1:]:
+                if vector[row] != first:
+                    return False
+        return True
+
+    def to_vector(self, singleton_id: int = -1) -> list[int]:
+        """Inverse view: per-row cluster ids, stripped rows get unique ids.
+
+        Useful to chain refinement checks and to rebuild probe tables once.
+        Rows outside every cluster receive distinct negative ids when
+        ``singleton_id`` is -1 (the default), so the vector is itself a
+        valid value vector of the column combination.
+        """
+        vector = list(range(-1, -self.n_rows - 1, -1)) if singleton_id == -1 else [
+            singleton_id
+        ] * self.n_rows
+        for cluster_id, cluster in enumerate(self.clusters):
+            for row in cluster:
+                vector[row] = cluster_id
+        return vector
+
+    # -- dunder --------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PLI):
+            return self.n_rows == other.n_rows and self.clusters == other.clusters
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.n_rows, self.clusters))
+
+    def __repr__(self) -> str:
+        return f"PLI({self.n_clusters} clusters over {self.n_rows} rows)"
+
+
+def pli_from_column(values: Sequence[Any]) -> PLI:
+    """Build the stripped PLI of one column."""
+    groups: dict[Any, list[int]] = {}
+    for row, value in enumerate(values):
+        groups.setdefault(value, []).append(row)
+    return PLI([g for g in groups.values() if len(g) >= 2], len(values))
+
+
+def pli_from_vector(vector: Sequence[int]) -> PLI:
+    """Build a PLI from a dense value vector (ids as produced by
+    :func:`value_vector` or :meth:`PLI.to_vector`)."""
+    return pli_from_column(vector)

@@ -1,0 +1,14 @@
+"""Relational substrate: relations, column sets, and CSV I/O."""
+
+from .columnset import ColumnSet
+from .csv_io import read_csv, read_csv_text, write_csv
+from .relation import Relation, SchemaError
+
+__all__ = [
+    "ColumnSet",
+    "Relation",
+    "SchemaError",
+    "read_csv",
+    "read_csv_text",
+    "write_csv",
+]

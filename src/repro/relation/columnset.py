@@ -1,0 +1,231 @@
+"""Bitmask representation of attribute (column) sets.
+
+All discovery algorithms in this package represent a set of columns as a
+plain Python ``int`` used as a bitmask: bit ``i`` is set iff column ``i`` is
+in the set.  Integers are immutable, hashable, cheap to copy, and subset
+tests compile down to a single ``&`` — which matters because the lattice
+algorithms perform millions of subset checks.
+
+This module collects every operation the algorithms need on such masks.
+Functions are deliberately small, pure, and allocation-light.  A thin
+:class:`ColumnSet` wrapper is provided for user-facing code that prefers an
+object with named columns over a raw integer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+__all__ = [
+    "EMPTY",
+    "bit",
+    "mask_of",
+    "full_mask",
+    "iter_bits",
+    "bits",
+    "size",
+    "is_subset",
+    "is_proper_subset",
+    "is_superset",
+    "contains_bit",
+    "lowest_bit",
+    "without",
+    "direct_subsets",
+    "direct_supersets",
+    "all_subsets",
+    "all_proper_subsets",
+    "all_nonempty_proper_subsets",
+    "pretty",
+    "ColumnSet",
+]
+
+#: The empty column set.
+EMPTY = 0
+
+
+def bit(index: int) -> int:
+    """Return the mask containing exactly column ``index``."""
+    return 1 << index
+
+
+def mask_of(indexes: Iterable[int]) -> int:
+    """Build a mask from an iterable of column indexes."""
+    mask = 0
+    for index in indexes:
+        mask |= 1 << index
+    return mask
+
+
+def full_mask(n_columns: int) -> int:
+    """Return the mask containing columns ``0 .. n_columns - 1``."""
+    return (1 << n_columns) - 1
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the column indexes present in ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def bits(mask: int) -> tuple[int, ...]:
+    """Return the column indexes of ``mask`` as an ascending tuple."""
+    return tuple(iter_bits(mask))
+
+
+def size(mask: int) -> int:
+    """Number of columns in the set (population count)."""
+    return mask.bit_count()
+
+
+def is_subset(sub: int, sup: int) -> bool:
+    """True iff every column of ``sub`` is also in ``sup``."""
+    return sub & ~sup == 0
+
+
+def is_proper_subset(sub: int, sup: int) -> bool:
+    """True iff ``sub`` ⊂ ``sup`` (strictly)."""
+    return sub != sup and sub & ~sup == 0
+
+
+def is_superset(sup: int, sub: int) -> bool:
+    """True iff ``sup`` contains every column of ``sub``."""
+    return sub & ~sup == 0
+
+
+def contains_bit(mask: int, index: int) -> bool:
+    """True iff column ``index`` is in ``mask``."""
+    return mask >> index & 1 == 1
+
+
+def lowest_bit(mask: int) -> int:
+    """Index of the lowest set column; ``mask`` must be non-empty."""
+    if not mask:
+        raise ValueError("empty column set has no lowest bit")
+    return (mask & -mask).bit_length() - 1
+
+
+def without(mask: int, index: int) -> int:
+    """Return ``mask`` with column ``index`` removed (it need not be set)."""
+    return mask & ~(1 << index)
+
+
+def direct_subsets(mask: int) -> list[int]:
+    """All subsets of ``mask`` with exactly one column removed."""
+    return [mask ^ (1 << index) for index in iter_bits(mask)]
+
+
+def direct_supersets(mask: int, universe: int) -> list[int]:
+    """All supersets of ``mask`` within ``universe`` with one column added."""
+    return [mask | (1 << index) for index in iter_bits(universe & ~mask)]
+
+
+def all_subsets(mask: int) -> Iterator[int]:
+    """Yield every subset of ``mask`` including ``EMPTY`` and ``mask``.
+
+    Uses the standard descending-submask enumeration, so the count is
+    ``2**size(mask)`` — callers are responsible for keeping ``mask`` small.
+    """
+    sub = mask
+    while True:
+        yield sub
+        if sub == 0:
+            return
+        sub = (sub - 1) & mask
+
+
+def all_proper_subsets(mask: int) -> Iterator[int]:
+    """Yield every subset of ``mask`` except ``mask`` itself."""
+    for sub in all_subsets(mask):
+        if sub != mask:
+            yield sub
+
+
+def all_nonempty_proper_subsets(mask: int) -> Iterator[int]:
+    """Yield every non-empty proper subset of ``mask``."""
+    for sub in all_subsets(mask):
+        if sub not in (0, mask):
+            yield sub
+
+
+def pretty(mask: int, names: Sequence[str] | None = None) -> str:
+    """Human-readable rendering, e.g. ``{A, C}`` or ``{0, 2}``."""
+    if names is None:
+        parts = [str(index) for index in iter_bits(mask)]
+    else:
+        parts = [names[index] for index in iter_bits(mask)]
+    return "{" + ", ".join(parts) + "}"
+
+
+class ColumnSet:
+    """Immutable, named view over a column bitmask.
+
+    User-facing results (:mod:`repro.metadata`) expose column *names*;
+    internally everything is an ``int`` mask.  ``ColumnSet`` bridges the two:
+    it keeps the mask plus the schema's column names and behaves like a
+    frozen set of names.
+    """
+
+    __slots__ = ("_mask", "_names")
+
+    def __init__(self, mask: int, names: Sequence[str]):
+        if mask < 0:
+            raise ValueError("column mask must be non-negative")
+        if mask >> len(names):
+            raise ValueError(
+                f"mask {mask:#x} references columns beyond the {len(names)}-column schema"
+            )
+        self._mask = mask
+        self._names = tuple(names)
+
+    @classmethod
+    def of(cls, columns: Iterable[str], names: Sequence[str]) -> "ColumnSet":
+        """Build a set from column *names* resolved against ``names``."""
+        positions = {name: index for index, name in enumerate(names)}
+        try:
+            mask = mask_of(positions[column] for column in columns)
+        except KeyError as exc:
+            raise KeyError(f"unknown column {exc.args[0]!r}") from None
+        return cls(mask, names)
+
+    @property
+    def mask(self) -> int:
+        """The underlying bitmask."""
+        return self._mask
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Names of the columns in this set, in schema order."""
+        return tuple(self._names[index] for index in iter_bits(self._mask))
+
+    @property
+    def indexes(self) -> tuple[int, ...]:
+        """Schema positions of the columns in this set."""
+        return bits(self._mask)
+
+    def __len__(self) -> int:
+        return size(self._mask)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names)
+
+    def __contains__(self, column: str) -> bool:
+        return column in self.names
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ColumnSet):
+            return self._mask == other._mask and self._names == other._names
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._mask, self._names))
+
+    def __le__(self, other: "ColumnSet") -> bool:
+        return is_subset(self._mask, other._mask)
+
+    def __lt__(self, other: "ColumnSet") -> bool:
+        return is_proper_subset(self._mask, other._mask)
+
+    def __repr__(self) -> str:
+        return f"ColumnSet({pretty(self._mask, self._names)})"

@@ -1,0 +1,120 @@
+"""CSV input/output for :class:`~repro.relation.relation.Relation`.
+
+The Metanome framework (the paper's execution environment) feeds algorithms
+from CSV files; this module is the equivalent file-input substrate.  Reading
+is instrumented-friendly: :func:`read_csv` accepts an open text handle so the
+harness can wrap it with a byte/row counter to account shared-I/O costs.
+
+Empty fields (and any string listed in ``null_values``) are decoded to
+``None``.  Values are kept as strings — type inference is irrelevant for
+dependency discovery and would only blur NULL semantics.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Iterable
+from pathlib import Path
+from typing import TextIO
+
+from .relation import Relation, SchemaError
+
+__all__ = ["read_csv", "write_csv", "read_csv_text"]
+
+DEFAULT_NULLS = frozenset({""})
+
+
+def read_csv(
+    source: str | Path | TextIO,
+    delimiter: str = ",",
+    has_header: bool = True,
+    null_values: Iterable[str] = DEFAULT_NULLS,
+    name: str | None = None,
+) -> Relation:
+    """Read a CSV file (or open handle) into a :class:`Relation`.
+
+    Parameters
+    ----------
+    source:
+        Path to a CSV file, or an already-open text handle.
+    delimiter:
+        Field separator.
+    has_header:
+        When true, the first row provides column names; otherwise columns
+        are named ``column_0 .. column_{n-1}``.
+    null_values:
+        Strings decoded as SQL NULL (``None``).  Defaults to the empty
+        string only.
+    name:
+        Relation label; defaults to the file stem (or ``"relation"``).
+    """
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        with path.open(newline="", encoding="utf-8") as handle:
+            return read_csv(
+                handle,
+                delimiter=delimiter,
+                has_header=has_header,
+                null_values=null_values,
+                name=name or path.stem,
+            )
+
+    nulls = frozenset(null_values)
+    reader = csv.reader(source, delimiter=delimiter)
+    rows = list(reader)
+    if not rows:
+        raise SchemaError("empty CSV input: no header and no data")
+
+    if has_header:
+        header, data = rows[0], rows[1:]
+    else:
+        width = len(rows[0])
+        header = [f"column_{i}" for i in range(width)]
+        data = rows
+
+    width = len(header)
+    decoded: list[tuple[object, ...]] = []
+    for line_no, row in enumerate(data, start=2 if has_header else 1):
+        if len(row) != width:
+            raise SchemaError(
+                f"line {line_no}: expected {width} fields, found {len(row)}"
+            )
+        decoded.append(tuple(None if f in nulls else f for f in row))
+
+    return Relation.from_rows(header, decoded, name=name or "relation")
+
+
+def read_csv_text(
+    text: str,
+    delimiter: str = ",",
+    has_header: bool = True,
+    null_values: Iterable[str] = DEFAULT_NULLS,
+    name: str = "relation",
+) -> Relation:
+    """Parse CSV content given as a string (convenience for tests/examples)."""
+    return read_csv(
+        io.StringIO(text),
+        delimiter=delimiter,
+        has_header=has_header,
+        null_values=null_values,
+        name=name,
+    )
+
+
+def write_csv(
+    relation: Relation,
+    destination: str | Path | TextIO,
+    delimiter: str = ",",
+    null_repr: str = "",
+) -> None:
+    """Write a relation as CSV; ``None`` is encoded as ``null_repr``."""
+    if isinstance(destination, (str, Path)):
+        with Path(destination).open("w", newline="", encoding="utf-8") as handle:
+            write_csv(relation, handle, delimiter=delimiter, null_repr=null_repr)
+        return
+
+    writer = csv.writer(destination, delimiter=delimiter)
+    writer.writerow(relation.column_names)
+    for row in relation.iter_rows():
+        writer.writerow([null_repr if v is None else v for v in row])

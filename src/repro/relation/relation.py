@@ -1,0 +1,206 @@
+"""Column-oriented in-memory relation.
+
+The profiling algorithms operate on a single relation instance.  Values are
+arbitrary hashable Python objects; ``None`` denotes SQL NULL.  The relation
+is column-oriented because every algorithm in this package consumes whole
+columns (to build position list indexes or sorted distinct-value lists), not
+whole rows.
+
+The paper assumes the input is duplicate-free (§3): a relation with two
+identical rows has no UCC at all and most inter-task pruning rules would not
+apply.  :meth:`Relation.deduplicated` implements that preprocessing step.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Any
+
+Value = Any
+
+__all__ = ["Relation", "SchemaError"]
+
+
+class SchemaError(ValueError):
+    """Raised for malformed schemas or ragged data."""
+
+
+class Relation:
+    """An immutable, column-oriented table.
+
+    Parameters
+    ----------
+    column_names:
+        Unique names, one per column.
+    columns:
+        One sequence of values per column; all must share the same length.
+    name:
+        Optional label used in reports (defaults to ``"relation"``).
+    """
+
+    __slots__ = ("_names", "_columns", "_n_rows", "_name", "_positions")
+
+    def __init__(
+        self,
+        column_names: Sequence[str],
+        columns: Sequence[Sequence[Value]],
+        name: str = "relation",
+    ):
+        names = tuple(str(n) for n in column_names)
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in {names!r}")
+        if len(columns) != len(names):
+            raise SchemaError(
+                f"{len(names)} column names but {len(columns)} columns of data"
+            )
+        cols = tuple(tuple(col) for col in columns)
+        lengths = {len(col) for col in cols}
+        if len(lengths) > 1:
+            raise SchemaError(f"ragged columns: lengths {sorted(lengths)}")
+        self._names = names
+        self._columns = cols
+        self._n_rows = lengths.pop() if lengths else 0
+        self._name = name
+        self._positions = {n: i for i, n in enumerate(names)}
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        column_names: Sequence[str],
+        rows: Iterable[Sequence[Value]],
+        name: str = "relation",
+    ) -> "Relation":
+        """Build a relation from an iterable of rows."""
+        materialized = [tuple(row) for row in rows]
+        width = len(column_names)
+        for i, row in enumerate(materialized):
+            if len(row) != width:
+                raise SchemaError(
+                    f"row {i} has {len(row)} values, expected {width}"
+                )
+        columns = (
+            [list(col) for col in zip(*materialized)]
+            if materialized
+            else [[] for _ in range(width)]
+        )
+        return cls(column_names, columns, name=name)
+
+    @classmethod
+    def from_dict(
+        cls, columns: dict[str, Sequence[Value]], name: str = "relation"
+    ) -> "Relation":
+        """Build a relation from a ``{name: values}`` mapping."""
+        return cls(list(columns), list(columns.values()), name=name)
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Label of this relation."""
+        return self._name
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Names of all columns, in schema order."""
+        return self._names
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows."""
+        return self._n_rows
+
+    @property
+    def n_columns(self) -> int:
+        """Number of columns."""
+        return len(self._names)
+
+    def column(self, key: int | str) -> tuple[Value, ...]:
+        """Return one column's values, addressed by index or name."""
+        return self._columns[self.column_index(key)]
+
+    def column_index(self, key: int | str) -> int:
+        """Resolve a column name (or pass through an index)."""
+        if isinstance(key, str):
+            try:
+                return self._positions[key]
+            except KeyError:
+                raise KeyError(f"unknown column {key!r}") from None
+        if not 0 <= key < len(self._names):
+            raise IndexError(f"column index {key} out of range")
+        return key
+
+    def row(self, index: int) -> tuple[Value, ...]:
+        """Materialize row ``index`` as a tuple."""
+        return tuple(col[index] for col in self._columns)
+
+    def iter_rows(self) -> Iterator[tuple[Value, ...]]:
+        """Iterate over all rows as tuples."""
+        return zip(*self._columns) if self._columns else iter(())
+
+    # -- transformations ---------------------------------------------------
+
+    def project(self, keys: Sequence[int | str], name: str | None = None) -> "Relation":
+        """Return a new relation containing only the given columns."""
+        indexes = [self.column_index(k) for k in keys]
+        return Relation(
+            [self._names[i] for i in indexes],
+            [self._columns[i] for i in indexes],
+            name=name or self._name,
+        )
+
+    def head(self, n_rows: int, name: str | None = None) -> "Relation":
+        """Return a new relation containing only the first ``n_rows`` rows."""
+        if n_rows < 0:
+            raise ValueError("n_rows must be non-negative")
+        return Relation(
+            self._names,
+            [col[:n_rows] for col in self._columns],
+            name=name or self._name,
+        )
+
+    def deduplicated(self, name: str | None = None) -> "Relation":
+        """Drop duplicate rows, keeping first occurrences (paper §3).
+
+        The holistic algorithms assume a duplicate-free input; a relation
+        with two identical rows has no UCC at all.
+        """
+        seen: set[tuple[Value, ...]] = set()
+        keep: list[int] = []
+        for index, row in enumerate(self.iter_rows()):
+            if row not in seen:
+                seen.add(row)
+                keep.append(index)
+        if len(keep) == self._n_rows:
+            return self
+        return Relation(
+            self._names,
+            [[col[i] for i in keep] for col in self._columns],
+            name=name or self._name,
+        )
+
+    def has_duplicate_rows(self) -> bool:
+        """True iff at least two rows are identical."""
+        seen: set[tuple[Value, ...]] = set()
+        for row in self.iter_rows():
+            if row in seen:
+                return True
+            seen.add(row)
+        return False
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Relation):
+            return self._names == other._names and self._columns == other._columns
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._names, self._columns))
+
+    def __repr__(self) -> str:
+        return (
+            f"Relation({self._name!r}, {self.n_columns} columns x "
+            f"{self._n_rows} rows)"
+        )

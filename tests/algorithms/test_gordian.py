@@ -1,0 +1,83 @@
+"""Tests for row-based (Gordian-style) UCC discovery."""
+
+from hypothesis import given
+
+from repro.algorithms import naive_uccs
+from repro.algorithms.gordian import agree_sets, gordian, gordian_on_relation
+from repro.pli import RelationIndex
+from repro.relation import Relation
+from repro.relation.columnset import full_mask, is_proper_subset, is_subset
+
+from ..conftest import relations
+
+
+class TestAgreeSets:
+    def test_simple(self):
+        rel = Relation.from_rows(
+            ["A", "B"], [(1, "x"), (1, "y"), (2, "x")]
+        )
+        index = RelationIndex(rel)
+        # rows 0,1 agree on A; rows 0,2 agree on B; rows 1,2 on nothing.
+        assert agree_sets(index) == [0b01, 0b10]
+
+    def test_fully_distinct_rows(self):
+        rel = Relation.from_rows(["A", "B"], [(1, "x"), (2, "y")])
+        assert agree_sets(RelationIndex(rel)) == []
+
+    def test_duplicate_rows_agree_everywhere(self):
+        rel = Relation.from_rows(["A", "B"], [(1, 2), (1, 2)])
+        assert agree_sets(RelationIndex(rel)) == [0b11]
+
+    @given(relations(max_columns=4, max_rows=10))
+    def test_matches_pairwise_definition(self, rel):
+        index = RelationIndex(rel)
+        expected = set()
+        rows = list(rel.iter_rows())
+        for i in range(len(rows)):
+            for j in range(i + 1, len(rows)):
+                mask = 0
+                for attr in range(rel.n_columns):
+                    if rows[i][attr] == rows[j][attr]:
+                        mask |= 1 << attr
+                if mask:
+                    expected.add(mask)
+        assert set(agree_sets(index)) == expected
+
+
+class TestGordian:
+    def test_duplicate_rows_no_uccs(self):
+        rel = Relation.from_rows(["A", "B"], [(1, 2), (1, 2), (3, 4)])
+        result = gordian_on_relation(rel)
+        assert result.minimal_uccs == []
+        assert result.maximal_non_uccs == [0b11]
+
+    def test_single_row(self):
+        rel = Relation.from_rows(["A", "B"], [(1, 2)])
+        assert gordian_on_relation(rel).minimal_uccs == [0b01, 0b10]
+
+    def test_zero_columns(self):
+        assert gordian_on_relation(Relation([], [])).minimal_uccs == []
+
+    @given(relations(max_columns=5, max_rows=12))
+    def test_matches_brute_force(self, rel):
+        assert gordian(RelationIndex(rel)).minimal_uccs == naive_uccs(rel)
+
+    @given(relations(max_columns=5, max_rows=12))
+    def test_agrees_with_ducc(self, rel):
+        from repro.algorithms import ducc
+
+        index = RelationIndex(rel)
+        assert gordian(index).minimal_uccs == ducc(index).minimal_uccs
+
+    @given(relations(max_columns=4, max_rows=10))
+    def test_borders_are_dual(self, rel):
+        """Every minimal UCC must escape every maximal non-UCC; every
+        proper subset of a maximal non-UCC must be non-unique."""
+        result = gordian(RelationIndex(rel))
+        universe = full_mask(rel.n_columns)
+        for ucc in result.minimal_uccs:
+            for non in result.maximal_non_uccs:
+                assert not is_subset(ucc, non)
+        for a in result.maximal_non_uccs:
+            for b in result.maximal_non_uccs:
+                assert a == b or not is_proper_subset(a, b)

@@ -1,0 +1,105 @@
+"""Tests for the n-ary IND extension."""
+
+import pytest
+from hypothesis import given
+
+from repro.algorithms.ind_nary import NaryInd, discover_nary_inds
+from repro.algorithms.values import canonical_value
+from repro.relation import Relation
+
+from ..conftest import relations
+
+
+class TestModel:
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            NaryInd((0, 1), (2,))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            NaryInd((), ())
+
+    def test_render(self):
+        ind = NaryInd((0, 2), (1, 3))
+        assert ind.render(["A", "B", "C", "D"]) == "(A, C) ⊆ (B, D)"
+
+    def test_arity(self):
+        assert NaryInd((0, 1), (2, 3)).arity == 2
+
+
+class TestDiscovery:
+    def test_binary_ind(self):
+        # (A,B) ⊆ (C,D): every (a,b) pair appears among (c,d) pairs.
+        rel = Relation.from_rows(
+            ["A", "B", "C", "D"],
+            [
+                (1, "x", 1, "x"),
+                (2, "y", 2, "y"),
+                (3, "z", 1, "x"),  # dependent (3,z) ... not contained
+            ],
+        )
+        inds = discover_nary_inds(rel, max_arity=2)
+        assert NaryInd((0,), (2,)) not in inds  # A has 3, C does not
+        rel2 = Relation.from_rows(
+            ["A", "B", "C", "D"],
+            [
+                (1, "x", 1, "x"),
+                (2, "y", 2, "y"),
+                (1, "x", 3, "z"),
+            ],
+        )
+        inds2 = discover_nary_inds(rel2, max_arity=2)
+        assert NaryInd((0, 1), (2, 3)) in inds2
+
+    def test_apriori_pruning_sound(self):
+        """A binary IND requires both unary projections to hold."""
+        rel = Relation.from_rows(
+            ["A", "B", "C", "D"],
+            [(9, 1, 1, 1), (9, 2, 2, 2)],
+        )
+        inds = discover_nary_inds(rel, max_arity=2)
+        for ind in inds:
+            if ind.arity == 2:
+                assert NaryInd((ind.dependent[0],), (ind.referenced[0],)) in inds
+                assert NaryInd((ind.dependent[1],), (ind.referenced[1],)) in inds
+
+    def test_max_arity_validated(self):
+        rel = Relation.from_rows(["A", "B"], [(1, 1)])
+        with pytest.raises(ValueError):
+            discover_nary_inds(rel, max_arity=0)
+
+    def test_unary_matches_spider(self):
+        from repro.algorithms import spider_on_relation
+
+        rel = Relation.from_rows(
+            ["A", "B", "C"], [(1, 1, 2), (2, 2, 1), (1, 2, 2)]
+        )
+        unary = [i for i in discover_nary_inds(rel, max_arity=1)]
+        assert sorted((i.dependent[0], i.referenced[0]) for i in unary) == sorted(
+            spider_on_relation(rel)
+        )
+
+    @given(relations(max_columns=4, max_rows=8, max_domain=2))
+    def test_all_reported_inds_hold(self, rel):
+        for ind in discover_nary_inds(rel, max_arity=3):
+            dep_proj = {
+                tuple(
+                    canonical_value(rel.column(c)[r]) for c in ind.dependent
+                )
+                for r in range(rel.n_rows)
+                if all(rel.column(c)[r] is not None for c in ind.dependent)
+            }
+            ref_proj = {
+                tuple(
+                    canonical_value(rel.column(c)[r]) for c in ind.referenced
+                )
+                for r in range(rel.n_rows)
+                if all(rel.column(c)[r] is not None for c in ind.referenced)
+            }
+            assert dep_proj <= ref_proj
+
+    @given(relations(max_columns=3, max_rows=6, max_domain=2))
+    def test_dependent_sides_are_canonical(self, rel):
+        for ind in discover_nary_inds(rel, max_arity=3):
+            assert list(ind.dependent) == sorted(ind.dependent)
+            assert len(set(ind.referenced)) == ind.arity

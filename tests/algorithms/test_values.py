@@ -1,0 +1,31 @@
+"""Tests for value canonicalization."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms import canonical_value
+
+
+class TestCanonicalValue:
+    def test_none_stays_none(self):
+        assert canonical_value(None) is None
+
+    def test_strings_unchanged(self):
+        assert canonical_value("abc") == "abc"
+
+    def test_numbers_stringified(self):
+        assert canonical_value(42) == "42"
+        assert canonical_value(2.5) == "2.5"
+
+    def test_cross_type_equality(self):
+        assert canonical_value(1) == canonical_value("1")
+
+    @given(st.one_of(st.integers(), st.floats(allow_nan=False), st.text()))
+    def test_always_string_or_none(self, value):
+        result = canonical_value(value)
+        assert isinstance(result, str)
+
+    @given(st.text())
+    def test_idempotent(self, value):
+        once = canonical_value(value)
+        assert canonical_value(once) == once

@@ -1,0 +1,92 @@
+"""Shared fixtures, hypothesis strategies, and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.relation.relation import Relation
+
+# -- hypothesis strategies ----------------------------------------------------
+
+
+def relations(
+    max_columns: int = 5,
+    max_rows: int = 12,
+    max_domain: int = 4,
+    min_columns: int = 1,
+    allow_nulls: bool = False,
+) -> st.SearchStrategy[Relation]:
+    """Random small relations with controllable shape.
+
+    Small domains on purpose: they maximize the density of UCC/FD/IND
+    structure per table, which is what stresses the discovery algorithms.
+    """
+
+    def build(draw: st.DrawFn) -> Relation:
+        n_columns = draw(st.integers(min_columns, max_columns))
+        n_rows = draw(st.integers(0, max_rows))
+        domain: st.SearchStrategy[object] = st.integers(0, max_domain)
+        if allow_nulls:
+            domain = st.one_of(st.none(), domain)
+        rows = [
+            tuple(draw(domain) for _ in range(n_columns)) for _ in range(n_rows)
+        ]
+        names = [chr(ord("A") + i) for i in range(n_columns)]
+        return Relation.from_rows(names, rows)
+
+    return st.composite(build)()
+
+
+def column_masks(max_columns: int = 8) -> st.SearchStrategy[int]:
+    """Random column bitmasks over up to ``max_columns`` columns."""
+    return st.integers(0, (1 << max_columns) - 1)
+
+
+# -- helpers ---------------------------------------------------------------
+
+
+def fds_as_pairs(result, relation: Relation) -> list[tuple[int, int]]:
+    """Convert a ProfilingResult's FDs to sorted (lhs_mask, rhs_index)."""
+    names = relation.column_names
+    position = {name: i for i, name in enumerate(names)}
+    return sorted(
+        (fd.lhs_mask(names), position[fd.rhs]) for fd in result.fds
+    )
+
+
+def uccs_as_masks(result, relation: Relation) -> list[int]:
+    """Convert a ProfilingResult's UCCs to sorted bitmasks."""
+    return sorted(u.mask(relation.column_names) for u in result.uccs)
+
+
+def inds_as_pairs(result, relation: Relation) -> list[tuple[int, int]]:
+    """Convert a ProfilingResult's INDs to sorted (dep, ref) index pairs."""
+    position = {name: i for i, name in enumerate(relation.column_names)}
+    return sorted(
+        (position[ind.dependent], position[ind.referenced]) for ind in result.inds
+    )
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Deterministic RNG for tests that need explicit randomness."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def employees() -> Relation:
+    """The quickstart example relation (rich, tiny, hand-checkable)."""
+    return Relation.from_rows(
+        ["employee_id", "city", "zip", "state", "work_state"],
+        [
+            ("E1", "Portland", "97201", "OR", "OR"),
+            ("E2", "Portland", "97201", "OR", "WA"),
+            ("E3", "Salem", "97301", "OR", "OR"),
+            ("E4", "Seattle", "98101", "WA", "WA"),
+            ("E5", "Spokane", "99201", "WA", "OR"),
+        ],
+        name="employees",
+    )

@@ -1,0 +1,27 @@
+"""Tests for the sequential baseline profiler."""
+
+from hypothesis import given
+
+from repro.core.baseline import SequentialBaseline
+from repro.core.holistic_fun import HolisticFun
+
+from ..conftest import relations
+
+
+class TestSequentialBaseline:
+    @given(relations(max_columns=5, max_rows=12))
+    def test_matches_holistic_results(self, rel):
+        """Sequential execution must find identical metadata — it only
+        pays more (three input passes instead of one)."""
+        baseline = SequentialBaseline(seed=1).profile(rel)
+        holistic = HolisticFun().profile(rel)
+        assert baseline.same_metadata(holistic)
+
+    def test_three_separate_phases(self, employees):
+        result = SequentialBaseline().profile(employees)
+        assert set(result.phase_seconds) == {"spider", "ducc", "fun"}
+
+    def test_counters(self, employees):
+        result = SequentialBaseline().profile(employees)
+        assert result.counters["ucc_checks"] > 0
+        assert result.counters["fd_checks"] > 0

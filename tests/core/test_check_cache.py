@@ -1,0 +1,67 @@
+"""Tests for the shared FD-check cache."""
+
+from hypothesis import given
+
+from repro.core.check_cache import CheckCache
+from repro.pli import RelationIndex
+from repro.relation import Relation
+from repro.relation.columnset import full_mask
+
+from ..conftest import relations
+
+
+class TestCheckCache:
+    def make(self):
+        rel = Relation.from_rows(
+            ["A", "B", "C"],
+            [(1, 1, 1), (1, 2, 1), (2, 1, 2), (2, 2, 2)],
+        )
+        return rel, CheckCache(RelationIndex(rel))
+
+    def test_memoizes(self):
+        __, cache = self.make()
+        first = cache.valid_rhs(0b001, 0b110)
+        checks = cache.index.fd_checks
+        second = cache.valid_rhs(0b001, 0b110)
+        assert first == second
+        assert cache.index.fd_checks == checks  # no new PLI work
+        assert cache.memo_hits == 2
+
+    def test_partial_overlap_only_checks_new_bits(self):
+        __, cache = self.make()
+        cache.valid_rhs(0b001, 0b010)
+        checks = cache.index.fd_checks
+        cache.valid_rhs(0b001, 0b110)
+        assert cache.index.fd_checks == checks + 1  # only bit 2 is new
+
+    def test_empty_candidates(self):
+        __, cache = self.make()
+        assert cache.valid_rhs(0b001, 0) == 0
+
+    def test_check_single(self):
+        __, cache = self.make()
+        assert cache.check(0b001, 2)  # A -> C in the fixture
+        assert not cache.check(0b010, 0)  # B does not determine A
+
+    def test_known_valid_invalid(self):
+        __, cache = self.make()
+        cache.valid_rhs(0b001, 0b110)
+        cache.valid_rhs(0b010, 0b101)
+        assert 0b001 in cache.known_valid(2)
+        assert 0b010 in cache.known_invalid(2)
+        assert 0b010 in cache.known_invalid(0)
+
+    @given(relations(max_columns=4, max_rows=10))
+    def test_agrees_with_direct_checks(self, rel):
+        index = RelationIndex(rel)
+        cache = CheckCache(index)
+        universe = full_mask(rel.n_columns)
+        reference = RelationIndex(rel)
+        for lhs in range(1, universe + 1):
+            assert cache.valid_rhs(lhs, universe & ~lhs) == reference.valid_rhs(
+                lhs, universe & ~lhs
+            )
+            # And again, from the memo.
+            assert cache.valid_rhs(lhs, universe & ~lhs) == reference.valid_rhs(
+                lhs, universe & ~lhs
+            )

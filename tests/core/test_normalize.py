@@ -1,0 +1,69 @@
+"""Tests for 3NF schema synthesis."""
+
+from hypothesis import given
+
+from repro import Muds
+from repro.core.normalize import ProposedRelation, synthesize_3nf
+from repro.metadata.cover import fds_to_pairs, implies
+from repro.relation import Relation
+
+from ..conftest import relations
+
+
+class TestSynthesize3nf:
+    def test_textbook_city_zip(self, employees):
+        result = Muds().profile(employees)
+        schema = synthesize_3nf(result)
+        rendered = [set(rel.columns) for rel in schema]
+        # zip -> city/state grouping must surface as one relation.
+        assert any({"zip", "city", "state"} <= cols for cols in rendered)
+        # A key of the original relation must be covered (lossless join).
+        assert any({"employee_id"} <= cols for cols in rendered)
+
+    def test_no_fds_single_relation(self):
+        rel = Relation.from_rows(["A", "B"], [(1, 1), (1, 2), (2, 1), (2, 2)])
+        result = Muds().profile(rel)
+        schema = synthesize_3nf(result)
+        assert len(schema) == 1
+        assert schema[0].is_key_relation
+        assert set(schema[0].columns) == {"A", "B"}
+
+    def test_str_rendering(self):
+        proposed = ProposedRelation(columns=("a", "b"), key=("a",))
+        assert str(proposed) == "(a, b) with key [a]"
+
+    @given(relations(max_columns=5, max_rows=12))
+    def test_structural_guarantees(self, rel):
+        deduped = rel.deduplicated()
+        result = Muds().profile(deduped)
+        schema = synthesize_3nf(result)
+        names = result.column_names
+        all_pairs = fds_to_pairs(result.fds, names)
+
+        # 1. Dependency preservation by construction: every canonical-
+        #    cover FD is embedded in some proposed relation; a weaker but
+        #    testable corollary is that each proposed relation's key
+        #    determines all of its columns.
+        position = {name: i for i, name in enumerate(names)}
+        for proposed in schema:
+            if proposed.is_key_relation or not proposed.key:
+                continue
+            key_mask = sum(1 << position[c] for c in proposed.key)
+            for column in proposed.columns:
+                assert implies(all_pairs, key_mask, position[column]) or (
+                    position[column] == key_mask.bit_length() - 1
+                )
+
+        # 2. Lossless join: some proposed relation contains a key of R
+        #    (when R has any UCC at all).
+        if result.uccs and deduped.n_rows > 1:
+            key_sets = [set(u.columns) for u in result.uccs]
+            assert any(
+                any(key <= set(p.columns) for key in key_sets) for p in schema
+            )
+
+        # 3. Coverage: every column appearing in some FD appears in some
+        #    proposed relation.
+        used = {c for fd in result.fds for c in (*fd.lhs, fd.rhs)}
+        covered = {c for p in schema for c in p.columns}
+        assert used <= covered

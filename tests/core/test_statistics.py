@@ -1,0 +1,70 @@
+"""Tests for single-column statistics profiling."""
+
+from hypothesis import given
+
+from repro import profile_statistics
+from repro.pli import RelationIndex
+from repro.relation import Relation
+
+from ..conftest import relations
+
+
+class TestColumnStatistics:
+    def test_basic_profile(self, employees):
+        stats = {s.name: s for s in profile_statistics(employees)}
+        assert stats["employee_id"].is_unique
+        assert stats["employee_id"].uniqueness_ratio == 1.0
+        assert stats["city"].distinct_count == 4
+        assert stats["city"].top_value == "Portland"
+        assert stats["city"].top_frequency == 2
+        assert not stats["state"].is_unique
+
+    def test_nulls_counted(self):
+        rel = Relation.from_rows(["A"], [(None,), (1,), (None,)])
+        stat = profile_statistics(rel)[0]
+        assert stat.null_count == 2
+        assert stat.null_ratio == 2 / 3
+
+    def test_constant_column(self):
+        rel = Relation.from_rows(["A"], [(7,), (7,)])
+        stat = profile_statistics(rel)[0]
+        assert stat.is_constant
+        assert not stat.is_unique
+
+    def test_empty_relation(self):
+        rel = Relation.from_rows(["A"], [])
+        stat = profile_statistics(rel)[0]
+        assert stat.distinct_count == 0
+        assert not stat.is_unique
+        assert not stat.is_constant
+        assert stat.top_value is None
+        assert stat.uniqueness_ratio == 1.0
+
+    def test_extrema_numeric(self):
+        rel = Relation.from_rows(["A"], [(3,), (1,), (9,)])
+        stat = profile_statistics(rel)[0]
+        assert (stat.minimum, stat.maximum) == (1, 9)
+
+    def test_extrema_mixed_types_fall_back_to_strings(self):
+        rel = Relation.from_rows(["A"], [(3,), ("b",)])
+        stat = profile_statistics(rel)[0]
+        assert stat.minimum == "3"
+        assert stat.maximum == "b"
+
+    def test_shared_index_reused(self, employees):
+        index = RelationIndex(employees)
+        intersections = index.intersections
+        profile_statistics(employees, index=index)
+        assert index.intersections == intersections  # single-column only
+
+    @given(relations(max_columns=4, max_rows=12, allow_nulls=True))
+    def test_invariants(self, rel):
+        for stat in profile_statistics(rel):
+            assert 0 <= stat.null_count <= rel.n_rows
+            assert 0 <= stat.distinct_count <= rel.n_rows
+            assert 0.0 <= stat.null_ratio <= 1.0
+            if rel.n_rows:
+                values = rel.column(stat.name)
+                assert stat.top_frequency == max(
+                    values.count(v) for v in set(values)
+                )

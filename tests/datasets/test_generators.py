@@ -1,0 +1,116 @@
+"""Tests for the scalability-workload generators."""
+
+from repro.datasets import ionosphere_like, ncvoter_like, uniprot_like
+
+
+class TestUniprotLike:
+    def test_shape(self):
+        rel = uniprot_like(500, 10)
+        assert rel.n_columns == 10
+        assert rel.n_rows <= 500  # deduplication may trim
+        assert rel.n_rows > 450
+
+    def test_deterministic(self):
+        assert uniprot_like(300, 10, seed=5) == uniprot_like(300, 10, seed=5)
+
+    def test_seed_changes_data(self):
+        assert uniprot_like(300, 10, seed=1) != uniprot_like(300, 10, seed=2)
+
+    def test_accession_is_key(self):
+        rel = uniprot_like(400, 10)
+        accession = rel.column("accession")
+        assert len(set(accession)) == len(accession)
+
+    def test_organism_determines_taxonomy(self):
+        rel = uniprot_like(400, 10)
+        mapping = {}
+        for organism, taxonomy in zip(rel.column("organism"), rel.column("taxonomy")):
+            assert mapping.setdefault(organism, taxonomy) == taxonomy
+
+    def test_composite_key_organism_locus(self):
+        rel = uniprot_like(400, 10)
+        pairs = list(zip(rel.column("organism"), rel.column("locus")))
+        assert len(set(pairs)) == len(pairs)
+
+    def test_extra_columns(self):
+        rel = uniprot_like(200, 14)
+        assert rel.n_columns == 14
+        assert "annotation_12" in rel.column_names
+
+    def test_too_few_columns_rejected(self):
+        try:
+            uniprot_like(10, 3)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")
+
+
+class TestIonosphereLike:
+    def test_shape(self):
+        rel = ionosphere_like(12)
+        assert rel.n_columns == 12
+        assert rel.n_rows == 351  # structured key: no duplicate rows
+
+    def test_deterministic(self):
+        assert ionosphere_like(10, seed=3) == ionosphere_like(10, seed=3)
+
+    def test_phase_digits_form_the_key(self):
+        rel = ionosphere_like(10)
+        digits = list(zip(*(rel.column(f"phase_{d}") for d in range(5))))
+        assert len(set(digits)) == rel.n_rows
+        # Any four of the five digit columns are pigeonhole non-unique.
+        four = list(zip(*(rel.column(f"phase_{d}") for d in range(4))))
+        assert len(set(four)) < rel.n_rows
+
+    def test_has_derived_channels(self):
+        rel = ionosphere_like(14)
+        derived = [n for n in rel.column_names if n.startswith("derived_")]
+        assert derived
+
+    def test_min_columns_enforced(self):
+        try:
+            ionosphere_like(5)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_row_cap_enforced(self):
+        try:
+            ionosphere_like(10, n_rows=2000)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")
+
+
+class TestNcvoterLike:
+    def test_shape(self):
+        rel = ncvoter_like(800, 20)
+        assert rel.n_columns == 20
+        assert rel.n_rows == 800  # voter_id unique: dedup removes nothing
+
+    def test_deterministic(self):
+        assert ncvoter_like(300, 20, seed=2) == ncvoter_like(300, 20, seed=2)
+
+    def test_voter_id_unique(self):
+        rel = ncvoter_like(500, 20)
+        ids = rel.column("voter_id")
+        assert len(set(ids)) == len(ids)
+
+    def test_hierarchies_hold(self):
+        rel = ncvoter_like(500, 20)
+        for lhs_name, rhs_name in [
+            ("county", "region"),
+            ("zip_code", "city"),
+            ("precinct", "district"),
+            ("reg_year", "vintage"),
+        ]:
+            mapping = {}
+            for lhs, rhs in zip(rel.column(lhs_name), rel.column(rhs_name)):
+                assert mapping.setdefault(lhs, rhs) == rhs
+
+    def test_narrow_slice(self):
+        rel = ncvoter_like(100, 8)
+        assert rel.n_columns == 8

@@ -1,0 +1,41 @@
+"""Tests for the dataset registry specs."""
+
+import pytest
+
+from repro.datasets.registry import REGISTRY, TABLE3_ROWS, DatasetSpec, load
+
+
+class TestSpecs:
+    def test_table3_order_matches_paper(self):
+        assert [spec.name for spec in TABLE3_ROWS] == [
+            "iris", "balance", "chess", "abalone", "nursery", "b-cancer",
+            "bridges", "echocard", "adult", "letter", "hepatitis",
+        ]
+
+    def test_published_shapes_recorded(self):
+        spec = REGISTRY["adult"]
+        assert spec.columns == 14
+        assert spec.rows == 48_842
+        assert spec.paper_seconds == (126.0, 118.0, 9.9, 81.2)
+
+    def test_paper_fd_counts_present_for_table3(self):
+        for spec in TABLE3_ROWS:
+            assert spec.paper_fds is not None
+
+    def test_scalability_specs_have_no_paper_runtimes(self):
+        assert REGISTRY["uniprot"].paper_seconds is None
+
+    def test_make_respects_row_scaling(self):
+        assert REGISTRY["letter"].make(n_rows=120).n_rows <= 120
+
+    def test_make_passes_seed(self):
+        a = REGISTRY["iris"].make(n_rows=50, seed=1)
+        b = REGISTRY["iris"].make(n_rows=50, seed=2)
+        assert a != b
+
+    def test_specs_are_frozen(self):
+        with pytest.raises(AttributeError):
+            REGISTRY["iris"].rows = 1  # type: ignore[misc]
+
+    def test_load_matches_spec_make(self):
+        assert load("balance") == REGISTRY["balance"].make()

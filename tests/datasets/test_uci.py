@@ -1,0 +1,97 @@
+"""Tests for the UCI stand-in generators (Table 3 datasets)."""
+
+import pytest
+
+from repro.datasets import UCI_NAMES, make
+from repro.datasets.registry import TABLE3_ROWS
+
+
+class TestRegistryShapes:
+    @pytest.mark.parametrize("spec", TABLE3_ROWS, ids=lambda s: s.name)
+    def test_published_column_counts(self, spec):
+        relation = spec.make(n_rows=min(spec.rows, 120))
+        assert relation.n_columns == spec.columns
+
+    @pytest.mark.parametrize(
+        "spec", [s for s in TABLE3_ROWS if s.rows <= 1000], ids=lambda s: s.name
+    )
+    def test_published_row_counts_for_small_datasets(self, spec):
+        assert spec.make().n_rows == spec.rows
+
+
+class TestSpecificStructure:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            make("mnist")
+
+    def test_all_names_buildable(self):
+        for name in UCI_NAMES:
+            relation = make(name, n_rows=60)
+            assert relation.n_rows >= 1
+            assert relation.name == name
+
+    def test_balance_is_exact_reconstruction(self):
+        """balance-scale is a full 5^4 cross product with a deterministic
+        class: exactly one minimal UCC (the 4 attributes) and one minimal
+        FD (attributes -> class)."""
+        relation = make("balance")
+        assert relation.n_rows == 625
+        attrs = list(zip(*(relation.column(i) for i in range(4))))
+        assert len(set(attrs)) == 625
+        from repro.algorithms import fun_on_relation
+
+        result = fun_on_relation(relation)
+        assert result.minimal_uccs == [0b01111]
+        assert result.fds == [(0b01111, 4)]
+
+    def test_nursery_is_exact_reconstruction(self):
+        relation = make("nursery")
+        assert relation.n_rows == 12_960
+        assert relation.n_columns == 9
+
+    def test_chess_positions_unique(self):
+        relation = make("chess", n_rows=500)
+        positions = list(zip(*(relation.column(i) for i in range(6))))
+        assert len(set(positions)) == len(positions)
+
+    def test_adult_education_bijection(self):
+        relation = make("adult", n_rows=800)
+        mapping = {}
+        for edu, num in zip(
+            relation.column("education"), relation.column("education_num")
+        ):
+            assert mapping.setdefault(edu, num) == num
+
+    def test_bridges_has_nulls(self):
+        relation = make("bridges")
+        assert any(
+            None in relation.column(i) for i in range(relation.n_columns)
+        )
+
+    def test_deterministic(self):
+        assert make("letter", n_rows=200, seed=4) == make("letter", n_rows=200, seed=4)
+
+
+class TestRegistryLoad:
+    def test_load_by_name(self):
+        from repro.datasets import load
+
+        relation = load("iris")
+        assert relation.n_columns == 5
+
+    def test_load_unknown(self):
+        from repro.datasets import load
+
+        with pytest.raises(KeyError):
+            load("does-not-exist")
+
+    def test_load_scaled(self):
+        from repro.datasets import load
+
+        assert load("letter", n_rows=150).n_rows <= 150
+
+    def test_scalability_datasets_registered(self):
+        from repro.datasets import REGISTRY
+
+        for name in ("uniprot", "ionosphere", "ncvoter"):
+            assert name in REGISTRY

@@ -1,0 +1,41 @@
+"""Tests for report rendering."""
+
+from repro.harness import ascii_table, markdown_table, series_block
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        table = ascii_table(["name", "secs"], [["muds", 1.5], ["hfun", 10.25]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "----" in lines[1]
+        assert len(lines) == 4
+
+    def test_empty_rows(self):
+        assert ascii_table(["a"], []) == "a"
+
+    def test_none_rendered_empty(self):
+        table = ascii_table(["a", "b"], [["x", None]])
+        assert table.splitlines()[-1].rstrip() == "x"
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        table = markdown_table(["a", "b"], [[1, 2.5]])
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2.5 |"
+
+    def test_empty(self):
+        assert markdown_table(["a"], []).splitlines() == ["| a |", "|---|"]
+
+
+class TestSeriesBlock:
+    def test_rendering(self):
+        block = series_block(
+            "Fig 6", "rows", {"muds": [(50, 1.0), (100, 2.0)]}
+        )
+        assert "Fig 6" in block
+        assert "series muds:" in block
+        assert "rows=50: 1.000" in block

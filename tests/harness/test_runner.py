@@ -1,0 +1,45 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.core.holistic_fun import HolisticFun
+from repro.harness import ExperimentRunner, Framework
+from repro.relation import Relation
+
+
+def workload(n_rows):
+    return Relation.from_rows(
+        ["A", "B"],
+        [(i, i % 2) for i in range(int(n_rows))],
+        name=f"toy[{n_rows}]",
+    )
+
+
+@pytest.fixture
+def runner() -> ExperimentRunner:
+    framework = Framework()
+    framework.register("hfun", HolisticFun)
+    return ExperimentRunner(framework)
+
+
+class TestSweep:
+    def test_sweep_points(self, runner):
+        points = runner.sweep([4, 8], workload)
+        assert [p.label for p in points] == [4, 8]
+        assert all(len(p.executions) == 1 for p in points)
+
+    def test_series_extraction(self, runner):
+        points = runner.sweep([4, 8], workload)
+        series = ExperimentRunner.series(points, "hfun")
+        assert [x for x, __ in series] == [4, 8]
+        assert all(y >= 0 for __, y in series)
+
+    def test_seconds_unknown_algorithm(self, runner):
+        points = runner.sweep([4], workload)
+        with pytest.raises(KeyError):
+            points[0].seconds("tane")
+
+    def test_counts(self, runner):
+        points = runner.sweep([4], workload)
+        inds, uccs, fds = points[0].counts()
+        assert uccs >= 1

@@ -1,0 +1,104 @@
+"""Tests for minimal hitting sets and antichain minimalization."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lattice import minimal_hitting_sets, minimalize
+from repro.relation.columnset import all_subsets, is_proper_subset, size
+
+edge_families = st.lists(st.integers(0, (1 << 6) - 1), max_size=6)
+nonempty_edges = st.lists(st.integers(1, (1 << 6) - 1), max_size=6)
+
+
+def brute_minimal_hitting_sets(edges, universe):
+    """Reference: scan all subsets of the universe."""
+    hitting = [
+        mask
+        for mask in all_subsets(universe)
+        if all(mask & edge for edge in edges)
+    ]
+    return sorted(
+        (
+            m
+            for m in hitting
+            if not any(h != m and is_proper_subset(h, m) for h in hitting)
+        ),
+        key=lambda m: (size(m), m),
+    )
+
+
+class TestMinimalize:
+    def test_removes_supersets(self):
+        assert minimalize([0b111, 0b011, 0b001]) == [0b001]
+
+    def test_keeps_incomparable(self):
+        assert minimalize([0b011, 0b101]) == [0b011, 0b101]
+
+    def test_dedupes(self):
+        assert minimalize([0b01, 0b01]) == [0b01]
+
+    @given(st.lists(st.integers(0, 63), max_size=12))
+    def test_result_is_antichain(self, masks):
+        result = minimalize(masks)
+        for a in result:
+            for b in result:
+                assert a == b or not is_proper_subset(a, b)
+
+    @given(st.lists(st.integers(0, 63), max_size=12))
+    def test_every_input_has_subset_in_result(self, masks):
+        result = minimalize(masks)
+        for mask in masks:
+            assert any(r & ~mask == 0 for r in result)
+
+
+class TestMinimalHittingSets:
+    def test_empty_family_has_empty_transversal(self):
+        assert minimal_hitting_sets([]) == [0]
+
+    def test_empty_edge_has_no_transversal(self):
+        assert minimal_hitting_sets([0b0]) == []
+
+    def test_single_edge(self):
+        assert minimal_hitting_sets([0b101]) == [0b001, 0b100]
+
+    def test_paper_duality_example(self):
+        # Maximal non-UCCs {A}, {B} over universe {A,B}: complements are
+        # {B}, {A}; the only minimal transversal is {A,B} — i.e. AB is the
+        # single minimal UCC.
+        assert minimal_hitting_sets([0b10, 0b01]) == [0b11]
+
+    def test_universe_restriction(self):
+        assert minimal_hitting_sets([0b111], universe=0b011) == [0b001, 0b010]
+
+    def test_universe_can_make_unhittable(self):
+        assert minimal_hitting_sets([0b100], universe=0b011) == []
+
+    @given(nonempty_edges)
+    def test_matches_brute_force(self, edges):
+        universe = 0
+        for edge in edges:
+            universe |= edge
+        assert minimal_hitting_sets(edges, universe) == brute_minimal_hitting_sets(
+            edges, universe
+        )
+
+    @given(nonempty_edges)
+    def test_results_hit_every_edge(self, edges):
+        for transversal in minimal_hitting_sets(edges):
+            assert all(transversal & edge for edge in edges)
+
+    @given(nonempty_edges)
+    def test_results_are_minimal(self, edges):
+        for transversal in minimal_hitting_sets(edges):
+            for column in range(transversal.bit_length()):
+                if transversal >> column & 1:
+                    smaller = transversal ^ (1 << column)
+                    assert not all(smaller & edge for edge in edges)
+
+    @given(nonempty_edges)
+    def test_deterministic_sorted_by_size(self, edges):
+        result = minimal_hitting_sets(edges)
+        assert result == minimal_hitting_sets(list(reversed(edges)))
+        assert all(
+            (size(a), a) <= (size(b), b) for a, b in zip(result, result[1:])
+        )

@@ -1,0 +1,95 @@
+"""Tests for lattice helpers and candidate generation."""
+
+from itertools import combinations
+from math import comb
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lattice import (
+    apriori_gen,
+    fd_candidate_count,
+    ind_candidate_count,
+    level,
+    level_count,
+    ucc_candidate_count,
+)
+from repro.relation.columnset import full_mask, mask_of, size
+
+
+class TestLevels:
+    def test_level_enumeration(self):
+        assert sorted(level(0b111, 2)) == [0b011, 0b101, 0b110]
+
+    def test_level_zero(self):
+        assert list(level(0b111, 0)) == [0]
+
+    def test_out_of_range_levels(self):
+        assert list(level(0b11, 3)) == []
+        assert list(level(0b11, -1)) == []
+
+    @given(st.integers(0, 8), st.integers(0, 8))
+    def test_level_count_matches_enumeration(self, n, k):
+        universe = full_mask(n)
+        assert len(list(level(universe, k))) == level_count(n, k)
+        assert level_count(n, k) == comb(n, k)
+
+
+class TestAprioriGen:
+    def test_empty_input(self):
+        assert apriori_gen([]) == []
+
+    def test_joins_only_when_all_subsets_present(self):
+        # {A,B}, {A,C} join to {A,B,C} only if {B,C} also survived.
+        assert apriori_gen([0b011, 0b101]) == []
+        assert apriori_gen([0b011, 0b101, 0b110]) == [0b111]
+
+    def test_level1_to_level2(self):
+        assert sorted(apriori_gen([0b001, 0b010, 0b100])) == [0b011, 0b101, 0b110]
+
+    @given(st.integers(1, 6), st.integers(1, 5))
+    def test_full_level_generates_full_next_level(self, n, k):
+        universe = full_mask(n)
+        current = list(level(universe, k))
+        expected = sorted(level(universe, k + 1))
+        assert sorted(apriori_gen(current)) == expected
+
+    @given(
+        st.integers(2, 6).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.sets(st.integers(0, comb(n, 2) - 1), max_size=10),
+            )
+        )
+    )
+    def test_candidates_have_all_subsets_in_input(self, args):
+        n, picks = args
+        pairs = [mask_of(c) for c in combinations(range(n), 2)]
+        survivors = {pairs[i] for i in picks if i < len(pairs)}
+        for candidate in apriori_gen(survivors):
+            assert size(candidate) == 3
+            for column in range(n):
+                if candidate >> column & 1:
+                    assert candidate ^ (1 << column) in survivors
+
+
+class TestSearchSpaceCounts:
+    def test_ind_count_formula(self):
+        # n * (n - 1) candidates (§2.1)
+        assert ind_candidate_count(5) == 20
+        assert ind_candidate_count(1) == 0
+
+    def test_ucc_count_formula(self):
+        # 2^n - 1 candidates (§2.2)
+        assert ucc_candidate_count(5) == 31
+
+    def test_fd_count_formula(self):
+        # sum_k C(n,k)*(n-k) (§2.3); for n=2: A->B and B->A
+        assert fd_candidate_count(2) == 2
+        assert fd_candidate_count(5) == sum(
+            comb(5, k) * (5 - k) for k in range(1, 6)
+        )
+
+    @given(st.integers(1, 10))
+    def test_fd_space_dominates_ucc_space(self, n):
+        assert fd_candidate_count(n) >= ucc_candidate_count(n) - 1

@@ -1,0 +1,124 @@
+"""Tests for the UCC prefix tree (§5.4), cross-validated against scans."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lattice import PrefixTree
+from repro.relation.columnset import is_subset
+
+mask_sets = st.sets(st.integers(1, (1 << 7) - 1), max_size=14)
+probes = st.integers(0, (1 << 7) - 1)
+
+
+class TestBasics:
+    def test_paper_figure5_layout(self):
+        # Fig. 5: combinations (1,3,8), (1,5), (1,10), (1,11,17), (1,12),
+        # (7), (15,18) over column indexes.
+        combos = [
+            (1 << 1) | (1 << 3) | (1 << 8),
+            (1 << 1) | (1 << 5),
+            (1 << 1) | (1 << 10),
+            (1 << 1) | (1 << 11) | (1 << 17),
+            (1 << 1) | (1 << 12),
+            (1 << 7),
+            (1 << 15) | (1 << 18),
+        ]
+        tree = PrefixTree(combos)
+        assert len(tree) == 7
+        assert sorted(tree) == sorted(combos)
+        for combo in combos:
+            assert combo in tree
+
+    def test_add_idempotent(self):
+        tree = PrefixTree()
+        tree.add(0b101)
+        tree.add(0b101)
+        assert len(tree) == 1
+
+    def test_empty_mask_rejected(self):
+        with pytest.raises(ValueError):
+            PrefixTree().add(0)
+
+    def test_contains_prefix_is_not_member(self):
+        tree = PrefixTree([0b111])
+        assert 0b011 not in tree
+
+    def test_remove(self):
+        tree = PrefixTree([0b101, 0b111])
+        assert tree.remove(0b101)
+        assert 0b101 not in tree
+        assert 0b111 in tree
+        assert len(tree) == 1
+
+    def test_remove_missing_returns_false(self):
+        tree = PrefixTree([0b1])
+        assert not tree.remove(0b10)
+        assert not tree.remove(0b11)
+
+    def test_remove_prefix_member(self):
+        tree = PrefixTree([0b011, 0b111])
+        assert tree.remove(0b111)
+        assert 0b011 in tree
+
+    @given(mask_sets)
+    def test_iteration_matches_contents(self, masks):
+        tree = PrefixTree(masks)
+        assert sorted(tree) == sorted(masks)
+        assert len(tree) == len(masks)
+
+
+class TestSubsetLookup:
+    @given(mask_sets, probes)
+    def test_subsets_of_matches_scan(self, masks, probe):
+        tree = PrefixTree(masks)
+        expected = sorted(m for m in masks if is_subset(m, probe))
+        assert sorted(tree.subsets_of(probe)) == expected
+
+    @given(mask_sets, probes)
+    def test_contains_subset_of_matches_scan(self, masks, probe):
+        tree = PrefixTree(masks)
+        assert tree.contains_subset_of(probe) == any(
+            is_subset(m, probe) for m in masks
+        )
+
+
+class TestSupersetLookup:
+    def test_paper_table2_connector_lookup(self):
+        # Table 2: minimal UCCs AFG, BDFG, DEF, CEFG; connector FG matches
+        # AFG, BDFG, CEFG but not DEF.
+        def mask(text):
+            return sum(1 << (ord(c) - ord("A")) for c in text)
+
+        tree = PrefixTree([mask("AFG"), mask("BDFG"), mask("DEF"), mask("CEFG")])
+        matched = tree.supersets_of(mask("FG"))
+        assert sorted(matched) == sorted(
+            [mask("AFG"), mask("BDFG"), mask("CEFG")]
+        )
+
+    @given(mask_sets, probes)
+    def test_supersets_of_matches_scan(self, masks, probe):
+        tree = PrefixTree(masks)
+        expected = sorted(m for m in masks if is_subset(probe, m))
+        assert sorted(tree.supersets_of(probe)) == expected
+
+    @given(mask_sets, probes)
+    def test_has_superset_of_matches_scan(self, masks, probe):
+        tree = PrefixTree(masks)
+        assert tree.has_superset_of(probe) == any(
+            is_subset(probe, m) for m in masks
+        )
+
+    @given(mask_sets, st.lists(st.integers(1, (1 << 7) - 1), max_size=6), probes)
+    def test_lookups_after_removals(self, masks, removals, probe):
+        tree = PrefixTree(masks)
+        remaining = set(masks)
+        for mask in removals:
+            tree.remove(mask)
+            remaining.discard(mask)
+        assert sorted(tree.subsets_of(probe)) == sorted(
+            m for m in remaining if is_subset(m, probe)
+        )
+        assert sorted(tree.supersets_of(probe)) == sorted(
+            m for m in remaining if is_subset(probe, m)
+        )

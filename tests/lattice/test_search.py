@@ -1,0 +1,131 @@
+"""Tests for the generic random-walk border search.
+
+The search must find the exact minimal positive border of any monotone
+(upward-closed) predicate; we cross-validate against brute force on random
+monotone predicates, including injected prior knowledge.
+"""
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lattice import LatticeSearch
+from repro.relation.columnset import all_subsets, is_subset, size
+
+
+def monotone_predicate(universe, generators):
+    """Upward closure of `generators` as a predicate."""
+
+    def predicate(mask):
+        return any(is_subset(g, mask) for g in generators)
+
+    return predicate
+
+
+def brute_minimal_positives(universe, predicate):
+    positives = [m for m in all_subsets(universe) if m and predicate(m)]
+    return sorted(
+        p
+        for p in positives
+        if not any(q != p and is_subset(q, p) for q in positives)
+    )
+
+
+universes = st.integers(1, (1 << 7) - 1)
+
+
+@st.composite
+def predicate_cases(draw):
+    universe = draw(universes)
+    n_generators = draw(st.integers(0, 4))
+    generators = [
+        draw(st.integers(1, universe)) & universe or universe
+        for _ in range(n_generators)
+    ]
+    generators = [g for g in generators if g]
+    return universe, generators
+
+
+class TestLatticeSearch:
+    def test_empty_universe(self):
+        search = LatticeSearch(0, lambda m: True)
+        assert search.run() == ([], [])
+
+    def test_everything_positive(self):
+        search = LatticeSearch(0b111, lambda m: True)
+        minimal, negatives = search.run()
+        assert minimal == [0b001, 0b010, 0b100]
+        assert negatives == []
+
+    def test_nothing_positive(self):
+        search = LatticeSearch(0b111, lambda m: False)
+        minimal, negatives = search.run()
+        assert minimal == []
+        assert negatives == [0b111]
+
+    def test_single_generator(self):
+        predicate = monotone_predicate(0b1111, [0b0110])
+        search = LatticeSearch(0b1111, predicate)
+        minimal, __ = search.run()
+        assert minimal == [0b0110]
+
+    @given(predicate_cases(), st.integers(0, 2**16))
+    def test_matches_brute_force(self, case, seed):
+        universe, generators = case
+        predicate = monotone_predicate(universe, generators)
+        search = LatticeSearch(universe, predicate, rng=random.Random(seed))
+        minimal, __ = search.run()
+        assert minimal == brute_minimal_positives(universe, predicate)
+
+    @given(predicate_cases(), st.integers(0, 2**16))
+    def test_prior_knowledge_preserves_result(self, case, seed):
+        universe, generators = case
+        predicate = monotone_predicate(universe, generators)
+        rng = random.Random(seed)
+        # Soundly seed: generators are positive; anything strictly below a
+        # single generator that tests negative is negative.
+        negatives = [
+            m
+            for g in generators[:1]
+            for m in [g & (g - 1)]  # drop lowest bit: proper subset
+            if m and not predicate(m)
+        ]
+        search = LatticeSearch(
+            universe,
+            predicate,
+            rng=rng,
+            known_positives=generators,
+            known_negatives=negatives,
+        )
+        minimal, __ = search.run()
+        assert minimal == brute_minimal_positives(universe, predicate)
+
+    @given(predicate_cases())
+    def test_deterministic_for_fixed_seed(self, case):
+        universe, generators = case
+        predicate = monotone_predicate(universe, generators)
+        runs = [
+            LatticeSearch(universe, predicate, rng=random.Random(7)).run()
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    @given(predicate_cases(), st.integers(0, 2**16))
+    def test_negative_border_is_sound_antichain(self, case, seed):
+        universe, generators = case
+        predicate = monotone_predicate(universe, generators)
+        search = LatticeSearch(universe, predicate, rng=random.Random(seed))
+        __, negatives = search.run()
+        for negative in negatives:
+            assert not predicate(negative)
+        for a in negatives:
+            for b in negatives:
+                assert a == b or not is_subset(a, b)
+
+    def test_evaluations_are_counted_and_bounded(self):
+        universe = 0b11111
+        predicate = monotone_predicate(universe, [0b00011])
+        search = LatticeSearch(universe, predicate)
+        search.run()
+        assert 0 < search.evaluations <= 2 ** size(universe)

@@ -1,0 +1,113 @@
+"""Tests for FD-set reasoning (closures, implication, covers)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metadata import FD
+from repro.metadata.cover import (
+    attribute_closure,
+    canonical_cover,
+    equivalent,
+    fds_to_pairs,
+    implies,
+    pairs_to_fds,
+)
+
+fd_sets = st.lists(
+    st.tuples(st.integers(0, 31), st.integers(0, 4)).map(
+        lambda p: (p[0] & ~(1 << p[1]), p[1])  # non-trivial
+    ),
+    max_size=8,
+)
+
+
+class TestClosure:
+    def test_transitive_chain(self):
+        fds = [(0b001, 1), (0b010, 2)]
+        assert attribute_closure(0b001, fds) == 0b111
+
+    def test_composite_lhs_requires_all(self):
+        fds = [(0b011, 2)]
+        assert attribute_closure(0b001, fds) == 0b001
+        assert attribute_closure(0b011, fds) == 0b111
+
+    @given(fd_sets, st.integers(0, 31))
+    def test_closure_is_monotone_and_idempotent(self, fds, attrs):
+        closure = attribute_closure(attrs, fds)
+        assert attrs & ~closure == 0
+        assert attribute_closure(closure, fds) == closure
+
+
+class TestImplication:
+    def test_direct_and_derived(self):
+        fds = [(0b001, 1), (0b010, 2)]
+        assert implies(fds, 0b001, 1)
+        assert implies(fds, 0b001, 2)  # transitivity
+        assert not implies(fds, 0b010, 0)
+
+    def test_reflexivity(self):
+        assert implies([], 0b101, 2)  # A,C -> C trivially
+
+
+class TestEquivalence:
+    def test_reordered_sets_equivalent(self):
+        a = [(0b001, 1), (0b010, 2)]
+        b = [(0b010, 2), (0b001, 1)]
+        assert equivalent(a, b)
+
+    def test_transitive_shortcut_is_redundant(self):
+        with_shortcut = [(0b001, 1), (0b010, 2), (0b001, 2)]
+        without = [(0b001, 1), (0b010, 2)]
+        assert equivalent(with_shortcut, without)
+
+    def test_different_sets_not_equivalent(self):
+        assert not equivalent([(0b001, 1)], [(0b010, 0)])
+
+
+class TestCanonicalCover:
+    def test_drops_redundant_fd(self):
+        fds = [(0b001, 1), (0b010, 2), (0b001, 2)]
+        cover = canonical_cover(fds)
+        assert (0b001, 2) not in cover
+        assert equivalent(cover, fds)
+
+    def test_left_reduces(self):
+        # A -> B makes {A,C} -> B left-reducible to A -> B.
+        fds = [(0b001, 1), (0b101, 1)]
+        cover = canonical_cover(fds)
+        assert cover == [(0b001, 1)]
+
+    def test_empty(self):
+        assert canonical_cover([]) == []
+
+    @given(fd_sets)
+    def test_cover_is_equivalent_and_no_larger(self, fds):
+        cover = canonical_cover(fds)
+        assert equivalent(cover, fds)
+        assert len(cover) <= len(set(fds))
+
+    @given(fd_sets)
+    def test_cover_is_irredundant(self, fds):
+        cover = canonical_cover(fds)
+        for fd in cover:
+            rest = [other for other in cover if other != fd]
+            assert not implies(rest, fd[0], fd[1])
+
+    @given(fd_sets)
+    def test_cover_is_left_reduced(self, fds):
+        cover = canonical_cover(fds)
+        for lhs, rhs in cover:
+            for column in range(5):
+                if lhs >> column & 1:
+                    smaller = lhs & ~(1 << column)
+                    assert not implies(cover, smaller, rhs) or smaller == lhs
+
+
+class TestNameConversion:
+    NAMES = ("A", "B", "C")
+
+    def test_roundtrip(self):
+        fds = [FD(("A",), "B"), FD(("B", "C"), "A")]
+        pairs = fds_to_pairs(fds, self.NAMES)
+        assert pairs == [(0b001, 1), (0b110, 0)]
+        assert pairs_to_fds(pairs, self.NAMES) == sorted(fds)

@@ -1,0 +1,86 @@
+"""Tests for the approximation measures (g3, uniqueness error, containment)."""
+
+from hypothesis import given
+
+from repro.algorithms.naive import holds_fd, is_unique, naive_inds
+from repro.metadata import fd_error, ind_containment, ucc_error
+from repro.pli import RelationIndex
+from repro.relation import Relation
+from repro.relation.columnset import full_mask
+
+from ..conftest import relations
+
+
+class TestFdError:
+    def test_exact_fd_has_zero_error(self):
+        rel = Relation.from_rows(["A", "B"], [(1, "x"), (1, "x"), (2, "y")])
+        assert fd_error(RelationIndex(rel), 0b01, 1) == 0.0
+
+    def test_single_violation(self):
+        rel = Relation.from_rows(
+            ["A", "B"], [(1, "x"), (1, "x"), (1, "y"), (2, "z")]
+        )
+        # remove one row (the minority 'y') to make A -> B hold: g3 = 1/4
+        assert fd_error(RelationIndex(rel), 0b01, 1) == 0.25
+
+    def test_empty_lhs_measures_constancy(self):
+        rel = Relation.from_rows(["A"], [(1,), (1,), (2,)])
+        assert fd_error(RelationIndex(rel), 0, 0) == 1 / 3
+
+    def test_empty_relation(self):
+        rel = Relation.from_rows(["A", "B"], [])
+        assert fd_error(RelationIndex(rel), 0b01, 1) == 0.0
+
+    @given(relations(max_columns=4, max_rows=10))
+    def test_zero_error_iff_fd_holds(self, rel):
+        index = RelationIndex(rel)
+        universe = full_mask(rel.n_columns)
+        for lhs in range(1, universe + 1):
+            for rhs in range(rel.n_columns):
+                if lhs >> rhs & 1:
+                    continue
+                error = fd_error(index, lhs, rhs)
+                assert 0.0 <= error < 1.0 or rel.n_rows == 0
+                assert (error == 0.0) == holds_fd(rel, lhs, rhs)
+
+
+class TestUccError:
+    def test_exact_ucc(self):
+        rel = Relation.from_rows(["A"], [(1,), (2,)])
+        assert ucc_error(RelationIndex(rel), 0b1) == 0.0
+
+    def test_duplicates_counted(self):
+        rel = Relation.from_rows(["A"], [(1,), (1,), (1,), (2,)])
+        # drop two of the three 1-rows: error = 2/4
+        assert ucc_error(RelationIndex(rel), 0b1) == 0.5
+
+    @given(relations(max_columns=4, max_rows=10))
+    def test_zero_error_iff_unique(self, rel):
+        index = RelationIndex(rel)
+        for mask in range(1, 1 << rel.n_columns):
+            assert (ucc_error(index, mask) == 0.0) == is_unique(rel, mask)
+
+
+class TestIndContainment:
+    def test_full_containment(self):
+        rel = Relation.from_rows(["A", "B"], [(1, 1), (2, 2), (1, 3)])
+        assert ind_containment(rel, 0, 1) == 1.0
+
+    def test_partial(self):
+        rel = Relation.from_rows(["A", "B"], [(1, 1), (2, 9), (3, 9)])
+        assert ind_containment(rel, 0, 1) == 1 / 3
+
+    def test_all_null_dependent(self):
+        rel = Relation.from_rows(["A", "B"], [(None, 1)])
+        assert ind_containment(rel, 0, 1) == 1.0
+
+    @given(relations(max_columns=4, max_rows=10, allow_nulls=True))
+    def test_full_containment_iff_ind(self, rel):
+        inds = set(naive_inds(rel))
+        for dep in range(rel.n_columns):
+            for ref in range(rel.n_columns):
+                if dep == ref:
+                    continue
+                ratio = ind_containment(rel, dep, ref)
+                assert 0.0 <= ratio <= 1.0
+                assert (ratio == 1.0) == ((dep, ref) in inds)

@@ -1,0 +1,76 @@
+"""Tests for the IND/UCC/FD domain model."""
+
+import pytest
+
+from repro.metadata import FD, IND, UCC
+
+
+class TestInd:
+    def test_str(self):
+        assert str(IND("A", "B")) == "A ⊆ B"
+
+    def test_trivial_rejected(self):
+        with pytest.raises(ValueError):
+            IND("A", "A")
+
+    def test_ordering_and_equality(self):
+        assert IND("A", "B") == IND("A", "B")
+        assert IND("A", "B") < IND("A", "C")
+        assert len({IND("A", "B"), IND("A", "B")}) == 1
+
+
+class TestUcc:
+    def test_str(self):
+        assert str(UCC(("A", "B"))) == "{A, B}"
+
+    def test_len(self):
+        assert len(UCC(("A", "B", "C"))) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            UCC(())
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            UCC(("A", "A"))
+
+    def test_mask(self):
+        assert UCC(("A", "C")).mask(("A", "B", "C")) == 0b101
+
+    def test_sorted_by_schema(self):
+        ucc = UCC(("C", "A")).sorted_by_schema(("A", "B", "C"))
+        assert ucc.columns == ("A", "C")
+
+    def test_hashable(self):
+        assert len({UCC(("A",)), UCC(("A",))}) == 1
+
+
+class TestFd:
+    def test_str(self):
+        assert str(FD(("A", "B"), "C")) == "A, B → C"
+
+    def test_len_is_lhs_size(self):
+        assert len(FD(("A", "B"), "C")) == 2
+
+    def test_trivial_rejected(self):
+        with pytest.raises(ValueError):
+            FD(("A", "B"), "A")
+
+    def test_duplicate_lhs_rejected(self):
+        with pytest.raises(ValueError):
+            FD(("A", "A"), "B")
+
+    def test_empty_lhs_allowed(self):
+        fd = FD((), "A")
+        assert fd.lhs == ()
+        assert str(fd) == " → A"
+
+    def test_lhs_mask(self):
+        assert FD(("A", "C"), "B").lhs_mask(("A", "B", "C")) == 0b101
+
+    def test_sorted_by_schema(self):
+        fd = FD(("C", "A"), "B").sorted_by_schema(("A", "B", "C"))
+        assert fd.lhs == ("A", "C")
+
+    def test_hashable(self):
+        assert len({FD(("A",), "B"), FD(("A",), "B")}) == 1

@@ -1,0 +1,77 @@
+"""Tests for the ProfilingResult container."""
+
+import pytest
+
+from repro.metadata import FD, IND, UCC, ProfilingResult, fd_signature, ucc_signature
+
+
+@pytest.fixture
+def result() -> ProfilingResult:
+    return ProfilingResult.from_masks(
+        relation_name="toy",
+        column_names=("A", "B", "C"),
+        ind_pairs=[(0, 1)],
+        ucc_masks=[0b011, 0b100],
+        fd_pairs=[(0b001, 1), (0b110, 0)],
+        phase_seconds={"spider": 0.5, "ducc": 1.5},
+        counters={"fd_checks": 7},
+    )
+
+
+class TestFromMasks:
+    def test_names_resolved(self, result):
+        assert result.inds == [IND("A", "B")]
+        assert UCC(("A", "B")) in result.uccs
+        assert UCC(("C",)) in result.uccs
+        assert FD(("A",), "B") in result.fds
+        assert FD(("B", "C"), "A") in result.fds
+
+    def test_sorted_output(self, result):
+        assert result.uccs == sorted(result.uccs)
+        assert result.fds == sorted(result.fds)
+
+    def test_counters_copied(self, result):
+        assert result.counters == {"fd_checks": 7}
+
+
+class TestViews:
+    def test_total_seconds(self, result):
+        assert result.total_seconds == pytest.approx(2.0)
+
+    def test_fd_map_groups_by_lhs(self):
+        result = ProfilingResult.from_masks(
+            "toy", ("A", "B", "C"), fd_pairs=[(0b001, 1), (0b001, 2)]
+        )
+        assert result.fd_map() == {frozenset({"A"}): {"B", "C"}}
+
+    def test_same_metadata_ignores_timings(self, result):
+        other = ProfilingResult.from_masks(
+            "other",
+            ("A", "B", "C"),
+            ind_pairs=[(0, 1)],
+            ucc_masks=[0b100, 0b011],
+            fd_pairs=[(0b110, 0), (0b001, 1)],
+            phase_seconds={"fun": 9.0},
+        )
+        assert result.same_metadata(other)
+
+    def test_same_metadata_detects_fd_difference(self, result):
+        other = ProfilingResult.from_masks(
+            "other", ("A", "B", "C"), ind_pairs=[(0, 1)], ucc_masks=[0b011, 0b100]
+        )
+        assert not result.same_metadata(other)
+
+    def test_summary_counts(self, result):
+        assert "1 INDs" in result.summary()
+        assert "2 UCCs" in result.summary()
+        assert "2 FDs" in result.summary()
+
+
+class TestSignatures:
+    def test_fd_signature_order_insensitive(self):
+        a = [FD(("A", "B"), "C")]
+        b = [FD(("B", "A"), "C")]
+        assert fd_signature(a) == fd_signature(b)
+
+    def test_ucc_signature_order_insensitive(self):
+        assert ucc_signature([UCC(("A", "B"))]) == ucc_signature([UCC(("B", "A"))])

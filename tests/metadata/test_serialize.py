@@ -1,0 +1,61 @@
+"""Tests for JSON serialization of profiling results."""
+
+import pytest
+from hypothesis import given
+
+from repro import Muds
+from repro.metadata import dumps, loads, result_from_dict, result_to_dict
+
+from ..conftest import relations
+
+
+class TestRoundTrip:
+    @given(relations(max_columns=4, max_rows=10))
+    def test_lossless_for_metadata(self, rel):
+        original = Muds().profile(rel)
+        restored = loads(dumps(original))
+        assert restored.same_metadata(original)
+        assert restored.relation_name == original.relation_name
+        assert restored.column_names == original.column_names
+        assert restored.counters == original.counters
+
+    def test_phase_seconds_survive(self, employees):
+        original = Muds().profile(employees)
+        restored = loads(dumps(original))
+        assert restored.phase_seconds == pytest.approx(original.phase_seconds)
+
+    def test_dict_form_is_json_types_only(self, employees):
+        document = result_to_dict(Muds().profile(employees))
+        import json
+
+        json.dumps(document)  # must not raise
+        assert document["format_version"] == 1
+
+
+class TestValidation:
+    def make_doc(self, employees):
+        return result_to_dict(Muds().profile(employees))
+
+    def test_wrong_version_rejected(self, employees):
+        document = self.make_doc(employees)
+        document["format_version"] = 99
+        with pytest.raises(ValueError):
+            result_from_dict(document)
+
+    def test_unknown_ind_column_rejected(self, employees):
+        document = self.make_doc(employees)
+        document["inds"].append({"dependent": "ghost", "referenced": "city"})
+        with pytest.raises(ValueError):
+            result_from_dict(document)
+
+    def test_unknown_ucc_column_rejected(self, employees):
+        document = self.make_doc(employees)
+        document["uccs"].append(["ghost"])
+        with pytest.raises(ValueError):
+            result_from_dict(document)
+
+    def test_unknown_fd_column_rejected(self, employees):
+        document = self.make_doc(employees)
+        document["fds"].append({"lhs": ["city"], "rhs": "ghost"})
+        with pytest.raises(ValueError):
+            result_from_dict(document)

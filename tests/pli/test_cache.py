@@ -1,0 +1,75 @@
+"""Tests for the PLI cache."""
+
+import pytest
+
+from repro.pli import PLI, PliCache
+
+
+def make_pli(n: int = 4) -> PLI:
+    return PLI([[0, 1]], n)
+
+
+class TestPliCache:
+    def test_put_get(self):
+        cache = PliCache()
+        pli = make_pli()
+        cache.put(0b11, pli)
+        assert cache.get(0b11) is pli
+        assert cache.hits == 1
+
+    def test_miss_counts(self):
+        cache = PliCache()
+        assert cache.get(0b11) is None
+        assert cache.misses == 1
+
+    def test_contains(self):
+        cache = PliCache()
+        cache.put(0b11, make_pli())
+        assert 0b11 in cache
+        assert 0b101 not in cache
+
+    def test_single_columns_are_pinned(self):
+        cache = PliCache(capacity=1)
+        for column in range(5):
+            cache.put(1 << column, make_pli())
+        assert len(cache) == 5  # nothing evicted
+        for column in range(5):
+            assert cache.get(1 << column) is not None
+
+    def test_composites_evicted_lru(self):
+        cache = PliCache(capacity=2)
+        cache.put(0b011, make_pli())
+        cache.put(0b101, make_pli())
+        cache.get(0b011)  # refresh
+        cache.put(0b110, make_pli())  # evicts 0b101
+        assert 0b011 in cache
+        assert 0b101 not in cache
+        assert 0b110 in cache
+
+    def test_peek_does_not_touch_stats(self):
+        cache = PliCache()
+        cache.put(0b11, make_pli())
+        cache.peek(0b11)
+        cache.peek(0b100)
+        assert cache.hits == 0
+        assert cache.misses == 0
+
+    def test_clear_composites_keeps_pinned(self):
+        cache = PliCache()
+        cache.put(0b1, make_pli())
+        cache.put(0b11, make_pli())
+        cache.clear_composites()
+        assert 0b1 in cache
+        assert 0b11 not in cache
+
+    def test_hit_rate(self):
+        cache = PliCache()
+        assert cache.hit_rate == 0.0
+        cache.put(0b1, make_pli())
+        cache.get(0b1)
+        cache.get(0b10)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PliCache(capacity=-1)

@@ -1,0 +1,135 @@
+"""Unit and property tests for PLIs (stripped partitions)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pli import PLI, pli_from_column, pli_from_vector, value_vector
+
+columns = st.lists(st.one_of(st.none(), st.integers(0, 5)), max_size=30)
+two_columns = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=25
+)
+
+
+def brute_partition(values):
+    """Reference partition: groups of row ids by value, size >= 2."""
+    groups = {}
+    for row, value in enumerate(values):
+        groups.setdefault(value, []).append(row)
+    return sorted(tuple(g) for g in groups.values() if len(g) >= 2)
+
+
+class TestConstruction:
+    def test_strips_singletons(self):
+        pli = PLI([[0], [1, 2], [3]], 4)
+        assert pli.clusters == ((1, 2),)
+
+    def test_normalizes_order(self):
+        a = PLI([[5, 1], [2, 0]], 6)
+        b = PLI([[0, 2], [1, 5]], 6)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_from_column(self):
+        pli = pli_from_column(["a", "b", "a", "c", "b"])
+        assert pli.clusters == ((0, 2), (1, 4))
+
+    def test_none_is_a_normal_value(self):
+        pli = pli_from_column([None, 1, None])
+        assert pli.clusters == ((0, 2),)
+
+    @given(columns)
+    def test_matches_brute_partition(self, values):
+        assert list(pli_from_column(values).clusters) == brute_partition(values)
+
+
+class TestMeasures:
+    def test_empty_column_is_unique(self):
+        pli = pli_from_column([])
+        assert pli.is_unique
+        assert pli.distinct_count == 0
+
+    def test_distinct_count(self):
+        pli = pli_from_column(["a", "a", "b", "c", "c", "c"])
+        assert pli.distinct_count == 3
+        assert pli.error == 3
+        assert pli.n_clustered_rows == 5
+        assert pli.n_clusters == 2
+
+    @given(columns)
+    def test_distinct_count_matches_set(self, values):
+        assert pli_from_column(values).distinct_count == len(set(values))
+
+    @given(columns)
+    def test_unique_iff_all_distinct(self, values):
+        assert pli_from_column(values).is_unique == (
+            len(set(values)) == len(values)
+        )
+
+
+class TestIntersect:
+    def test_simple(self):
+        a = pli_from_column([1, 1, 2, 2])
+        b = pli_from_column([1, 2, 1, 1])
+        joint = a.intersect(b)
+        # rows sharing both values: rows 2,3 (a=2, b=1)
+        assert joint.clusters == ((2, 3),)
+
+    def test_row_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pli_from_column([1, 1]).intersect(pli_from_column([1, 1, 1]))
+
+    @given(two_columns)
+    def test_matches_tuple_partition(self, rows):
+        left = pli_from_column([r[0] for r in rows])
+        right = pli_from_column([r[1] for r in rows])
+        assert list(left.intersect(right).clusters) == brute_partition(rows)
+
+    @given(two_columns)
+    def test_commutative(self, rows):
+        left = pli_from_column([r[0] for r in rows])
+        right = pli_from_column([r[1] for r in rows])
+        assert left.intersect(right) == right.intersect(left)
+
+    @given(columns)
+    def test_self_intersection_is_identity(self, values):
+        pli = pli_from_column(values)
+        assert pli.intersect(pli) == pli
+
+
+class TestRefines:
+    def test_valid_fd(self):
+        # zip -> city
+        zips = pli_from_column(["97201", "97201", "97301"])
+        cities = value_vector(["Portland", "Portland", "Salem"])
+        assert zips.refines(cities)
+
+    def test_invalid_fd(self):
+        city = pli_from_column(["P", "P", "S"])
+        zips = value_vector(["97201", "97209", "97301"])
+        assert not city.refines(zips)
+
+    @given(two_columns)
+    def test_refines_iff_cardinalities_match(self, rows):
+        """Lemma 1: X -> A iff |X| == |X u A|."""
+        left = pli_from_column([r[0] for r in rows])
+        right_vector = value_vector([r[1] for r in rows])
+        joint = left.intersect(pli_from_column([r[1] for r in rows]))
+        assert left.refines(right_vector) == (
+            left.distinct_count == joint.distinct_count
+        )
+
+
+class TestVectors:
+    @given(columns)
+    def test_value_vector_preserves_equality_structure(self, values):
+        vector = value_vector(values)
+        for i, a in enumerate(values):
+            for j, b in enumerate(values):
+                assert (a == b) == (vector[i] == vector[j])
+
+    @given(columns)
+    def test_to_vector_roundtrip(self, values):
+        pli = pli_from_column(values)
+        assert pli_from_vector(pli.to_vector()) == pli

@@ -1,0 +1,158 @@
+"""Unit and property tests for the column bitmask utilities."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.relation import columnset as cs
+
+from ..conftest import column_masks
+
+
+class TestBasics:
+    def test_empty_is_zero(self):
+        assert cs.EMPTY == 0
+        assert cs.size(cs.EMPTY) == 0
+        assert cs.bits(cs.EMPTY) == ()
+
+    def test_bit(self):
+        assert cs.bit(0) == 1
+        assert cs.bit(3) == 8
+
+    def test_mask_of_roundtrip(self):
+        assert cs.mask_of([0, 2, 5]) == 0b100101
+        assert cs.bits(0b100101) == (0, 2, 5)
+
+    def test_mask_of_duplicates_collapse(self):
+        assert cs.mask_of([1, 1, 1]) == 0b10
+
+    def test_full_mask(self):
+        assert cs.full_mask(0) == 0
+        assert cs.full_mask(3) == 0b111
+
+    def test_size(self):
+        assert cs.size(0b1011) == 3
+
+    def test_contains_bit(self):
+        assert cs.contains_bit(0b101, 0)
+        assert not cs.contains_bit(0b101, 1)
+
+    def test_lowest_bit(self):
+        assert cs.lowest_bit(0b1100) == 2
+
+    def test_lowest_bit_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            cs.lowest_bit(0)
+
+    def test_without(self):
+        assert cs.without(0b111, 1) == 0b101
+        assert cs.without(0b101, 1) == 0b101
+
+
+class TestSubsetRelations:
+    def test_is_subset(self):
+        assert cs.is_subset(0b001, 0b011)
+        assert cs.is_subset(0b011, 0b011)
+        assert not cs.is_subset(0b100, 0b011)
+
+    def test_empty_is_subset_of_everything(self):
+        assert cs.is_subset(0, 0)
+        assert cs.is_subset(0, 0b1010)
+
+    def test_proper_subset_excludes_equality(self):
+        assert cs.is_proper_subset(0b001, 0b011)
+        assert not cs.is_proper_subset(0b011, 0b011)
+
+    def test_is_superset(self):
+        assert cs.is_superset(0b111, 0b101)
+        assert not cs.is_superset(0b101, 0b111)
+
+    @given(column_masks(), column_masks())
+    def test_subset_iff_union_is_superset(self, a, b):
+        assert cs.is_subset(a, b) == ((a | b) == b)
+
+
+class TestNeighborEnumeration:
+    def test_direct_subsets(self):
+        assert sorted(cs.direct_subsets(0b101)) == [0b001, 0b100]
+        assert cs.direct_subsets(0) == []
+
+    def test_direct_supersets(self):
+        assert sorted(cs.direct_supersets(0b001, 0b111)) == [0b011, 0b101]
+        assert cs.direct_supersets(0b111, 0b111) == []
+
+    @given(column_masks(6))
+    def test_direct_subsets_count_equals_size(self, mask):
+        assert len(cs.direct_subsets(mask)) == cs.size(mask)
+
+    @given(column_masks(6))
+    def test_direct_subsets_have_size_minus_one(self, mask):
+        for sub in cs.direct_subsets(mask):
+            assert cs.size(sub) == cs.size(mask) - 1
+            assert cs.is_proper_subset(sub, mask)
+
+    @given(column_masks(6))
+    def test_all_subsets_count(self, mask):
+        subsets = list(cs.all_subsets(mask))
+        assert len(subsets) == 2 ** cs.size(mask)
+        assert len(set(subsets)) == len(subsets)
+        assert all(cs.is_subset(s, mask) for s in subsets)
+
+    @given(column_masks(6))
+    def test_proper_subsets_exclude_self(self, mask):
+        assert mask not in list(cs.all_proper_subsets(mask))
+
+    @given(column_masks(6))
+    def test_nonempty_proper_subsets(self, mask):
+        subs = list(cs.all_nonempty_proper_subsets(mask))
+        assert 0 not in subs
+        assert mask not in subs
+
+
+class TestPretty:
+    def test_with_names(self):
+        assert cs.pretty(0b101, ["A", "B", "C"]) == "{A, C}"
+
+    def test_without_names(self):
+        assert cs.pretty(0b110) == "{1, 2}"
+
+
+class TestColumnSetWrapper:
+    NAMES = ("A", "B", "C", "D")
+
+    def test_of_names(self):
+        s = cs.ColumnSet.of(["C", "A"], self.NAMES)
+        assert s.mask == 0b101
+        assert s.names == ("A", "C")
+        assert s.indexes == (0, 2)
+
+    def test_unknown_column(self):
+        with pytest.raises(KeyError):
+            cs.ColumnSet.of(["X"], self.NAMES)
+
+    def test_mask_out_of_schema(self):
+        with pytest.raises(ValueError):
+            cs.ColumnSet(0b10000, self.NAMES)
+
+    def test_negative_mask(self):
+        with pytest.raises(ValueError):
+            cs.ColumnSet(-1, self.NAMES)
+
+    def test_len_iter_contains(self):
+        s = cs.ColumnSet(0b1010, self.NAMES)
+        assert len(s) == 2
+        assert list(s) == ["B", "D"]
+        assert "B" in s and "A" not in s
+
+    def test_ordering_is_subset_relation(self):
+        small = cs.ColumnSet(0b0010, self.NAMES)
+        large = cs.ColumnSet(0b1010, self.NAMES)
+        assert small < large
+        assert small <= large
+        assert not large < small
+
+    def test_equality_and_hash(self):
+        a = cs.ColumnSet(0b11, self.NAMES)
+        b = cs.ColumnSet.of(["A", "B"], self.NAMES)
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,97 @@
+"""Tests for CSV reading/writing."""
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.relation import Relation, SchemaError, read_csv, read_csv_text, write_csv
+
+
+class TestRead:
+    def test_basic(self):
+        rel = read_csv_text("a,b\n1,2\n3,4\n")
+        assert rel.column_names == ("a", "b")
+        assert rel.column("a") == ("1", "3")
+
+    def test_empty_fields_become_null(self):
+        rel = read_csv_text("a,b\n1,\n,2\n")
+        assert rel.column("a") == ("1", None)
+        assert rel.column("b") == (None, "2")
+
+    def test_custom_null_values(self):
+        rel = read_csv_text("a\nNA\nx\n", null_values={"NA", ""})
+        assert rel.column("a") == (None, "x")
+
+    def test_no_header(self):
+        rel = read_csv_text("1,2\n3,4\n", has_header=False)
+        assert rel.column_names == ("column_0", "column_1")
+        assert rel.n_rows == 2
+
+    def test_delimiter(self):
+        rel = read_csv_text("a;b\n1;2\n", delimiter=";")
+        assert rel.column("b") == ("2",)
+
+    def test_header_only(self):
+        rel = read_csv_text("a,b\n")
+        assert rel.n_rows == 0
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(SchemaError):
+            read_csv_text("")
+
+    def test_ragged_line_rejected(self):
+        with pytest.raises(SchemaError) as excinfo:
+            read_csv_text("a,b\n1,2\n3\n")
+        assert "line 3" in str(excinfo.value)
+
+    def test_quoted_fields(self):
+        rel = read_csv_text('a,b\n"x,y",2\n')
+        assert rel.column("a") == ("x,y",)
+
+    def test_from_path(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a,b\n1,2\n")
+        rel = read_csv(path)
+        assert rel.name == "data"
+        assert rel.n_rows == 1
+
+
+class TestWrite:
+    def test_roundtrip(self, tmp_path):
+        rel = Relation.from_rows(["a", "b"], [("1", "x"), ("2", None)])
+        path = tmp_path / "out.csv"
+        write_csv(rel, path)
+        back = read_csv(path)
+        assert back.column("a") == ("1", "2")
+        assert back.column("b") == ("x", None)
+
+    def test_write_to_handle(self):
+        rel = Relation.from_rows(["a"], [("v",)])
+        buffer = io.StringIO()
+        write_csv(rel, buffer)
+        assert buffer.getvalue().strip().splitlines() == ["a", "v"]
+
+    def test_custom_null_repr(self):
+        rel = Relation.from_rows(["a"], [(None,)])
+        buffer = io.StringIO()
+        write_csv(rel, buffer, null_repr="NULL")
+        assert "NULL" in buffer.getvalue()
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(alphabet="abc,\" \n", max_size=5).map(lambda s: s or None),
+                st.text(alphabet="xyz;'", max_size=5).map(lambda s: s or None),
+            ),
+            max_size=8,
+        )
+    )
+    def test_roundtrip_property(self, rows):
+        rel = Relation.from_rows(["c0", "c1"], rows)
+        buffer = io.StringIO()
+        write_csv(rel, buffer)
+        buffer.seek(0)
+        back = read_csv(buffer, name="roundtrip")
+        assert list(back.iter_rows()) == list(rel.iter_rows())

@@ -1,0 +1,119 @@
+"""Tests for the column-oriented Relation model."""
+
+import pytest
+from hypothesis import given
+
+from repro.relation import Relation, SchemaError
+
+from ..conftest import relations
+
+
+class TestConstruction:
+    def test_from_rows(self):
+        rel = Relation.from_rows(["A", "B"], [(1, 2), (3, 4)])
+        assert rel.n_rows == 2
+        assert rel.n_columns == 2
+        assert rel.column("A") == (1, 3)
+        assert rel.column(1) == (2, 4)
+
+    def test_from_dict(self):
+        rel = Relation.from_dict({"x": [1, 2], "y": [3, 4]})
+        assert rel.column_names == ("x", "y")
+        assert rel.row(1) == (2, 4)
+
+    def test_empty_relation(self):
+        rel = Relation.from_rows(["A", "B"], [])
+        assert rel.n_rows == 0
+        assert list(rel.iter_rows()) == []
+
+    def test_zero_columns(self):
+        rel = Relation([], [])
+        assert rel.n_columns == 0
+        assert rel.n_rows == 0
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(["A", "A"], [[1], [2]])
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(["A", "B"], [[1, 2], [3]])
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation.from_rows(["A", "B"], [(1, 2), (3,)])
+
+    def test_name_column_count_mismatch(self):
+        with pytest.raises(SchemaError):
+            Relation(["A"], [[1], [2]])
+
+
+class TestAccess:
+    def test_column_index_by_name_and_position(self, employees):
+        assert employees.column_index("zip") == 2
+        assert employees.column_index(2) == 2
+
+    def test_unknown_column_name(self, employees):
+        with pytest.raises(KeyError):
+            employees.column("nope")
+
+    def test_column_index_out_of_range(self, employees):
+        with pytest.raises(IndexError):
+            employees.column(17)
+
+    def test_iter_rows_matches_rows(self, employees):
+        listed = list(employees.iter_rows())
+        assert listed[0] == employees.row(0)
+        assert len(listed) == employees.n_rows
+
+
+class TestTransformations:
+    def test_project(self, employees):
+        projected = employees.project(["city", "state"])
+        assert projected.column_names == ("city", "state")
+        assert projected.n_rows == employees.n_rows
+
+    def test_head(self, employees):
+        assert employees.head(2).n_rows == 2
+        assert employees.head(100).n_rows == employees.n_rows
+
+    def test_head_negative(self, employees):
+        with pytest.raises(ValueError):
+            employees.head(-1)
+
+    def test_deduplicated_removes_duplicates(self):
+        rel = Relation.from_rows(["A", "B"], [(1, 2), (1, 2), (3, 4)])
+        assert rel.has_duplicate_rows()
+        deduped = rel.deduplicated()
+        assert deduped.n_rows == 2
+        assert not deduped.has_duplicate_rows()
+
+    def test_deduplicated_noop_returns_self(self, employees):
+        assert employees.deduplicated() is employees
+
+    def test_deduplicated_keeps_first_occurrence(self):
+        rel = Relation.from_rows(["A", "B"], [(1, "x"), (2, "y"), (1, "x")])
+        assert list(rel.deduplicated().iter_rows()) == [(1, "x"), (2, "y")]
+
+    @given(relations(max_columns=4, max_rows=10))
+    def test_deduplicated_is_idempotent(self, rel):
+        once = rel.deduplicated()
+        assert once.deduplicated() == once
+        assert not once.has_duplicate_rows()
+
+
+class TestDunder:
+    def test_equality(self):
+        a = Relation.from_rows(["A"], [(1,), (2,)])
+        b = Relation.from_rows(["A"], [(1,), (2,)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_on_data(self):
+        a = Relation.from_rows(["A"], [(1,)])
+        b = Relation.from_rows(["A"], [(2,)])
+        assert a != b
+
+    def test_repr_mentions_shape(self, employees):
+        assert "5 columns" in repr(employees)
+        assert "5 rows" in repr(employees)

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.relation import Relation, write_csv
+
+
+@pytest.fixture
+def csv_path(tmp_path, employees):
+    path = tmp_path / "employees.csv"
+    write_csv(employees, path)
+    return path
+
+
+class TestParser:
+    def test_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_csv_and_dataset_are_exclusive(self, csv_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([str(csv_path), "--dataset", "iris"])
+
+
+class TestTextOutput:
+    def test_profile_csv(self, csv_path, capsys):
+        assert main([str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "minimal functional dependencies" in out
+        assert "employee_id" in out
+        assert "phase seconds" in out
+
+    def test_builtin_dataset(self, capsys):
+        assert main(["--dataset", "iris", "--max-rows", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "minimal unique column combinations" in out
+
+    def test_stats_flag(self, csv_path, capsys):
+        assert main([str(csv_path), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "per-column statistics" in out
+        assert "distinct=" in out
+
+    def test_algorithm_choice(self, csv_path, capsys):
+        assert main([str(csv_path), "--algorithm", "baseline"]) == 0
+
+    def test_as_published_flag(self, csv_path, capsys):
+        assert main([str(csv_path), "--algorithm", "muds", "--as-published"]) == 0
+
+    def test_max_rows(self, csv_path, capsys):
+        assert main([str(csv_path), "--max-rows", "2"]) == 0
+
+
+class TestJsonOutput:
+    def test_json_to_stdout(self, csv_path, capsys):
+        assert main([str(csv_path), "--json", "-"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["format_version"] == 1
+        assert "employee_id" in document["columns"]
+
+    def test_json_to_file_roundtrips(self, csv_path, tmp_path, capsys):
+        out_path = tmp_path / "result.json"
+        assert main([str(csv_path), "--json", str(out_path)]) == 0
+        from repro.metadata import loads
+
+        result = loads(out_path.read_text())
+        assert result.fds
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        assert main(["/does/not/exist.csv"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_dataset(self, capsys):
+        assert main(["--dataset", "nope"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDuplicateHandling:
+    def test_deduplicates_by_default(self, tmp_path, capsys):
+        rel = Relation.from_rows(["A", "B"], [(1, 2), (1, 2), (3, 4)])
+        path = tmp_path / "dups.csv"
+        write_csv(rel, path)
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "UCCs" in out
+
+    def test_keep_duplicates_flag(self, tmp_path, capsys):
+        rel = Relation.from_rows(["A", "B"], [(1, 2), (1, 2), (3, 4)])
+        path = tmp_path / "dups.csv"
+        write_csv(rel, path)
+        assert main([str(path), "--keep-duplicates"]) == 0
+        out = capsys.readouterr().out
+        assert "duplicate rows" in out  # the no-UCCs hint

@@ -1,0 +1,48 @@
+"""Smoke tests: every shipped example must run end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str]) -> None:
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py", [])
+        out = capsys.readouterr().out
+        assert "minimal functional dependencies" in out
+        assert "employee_id" in out
+
+    def test_genome_integration(self, capsys):
+        run_example("genome_integration.py", ["400"])
+        out = capsys.readouterr().out
+        assert "key candidates" in out
+        assert "phase breakdown" in out
+
+    def test_schema_discovery(self, capsys):
+        run_example("schema_discovery_voters.py", ["300"])
+        out = capsys.readouterr().out
+        assert "primary-key candidates" in out
+        assert "hierarchies" in out
+
+    def test_algorithm_comparison(self, capsys):
+        run_example("algorithm_comparison.py", ["bridges"])
+        out = capsys.readouterr().out
+        assert "fastest:" in out
+        assert "muds" in out
+
+    def test_algorithm_comparison_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            run_example("algorithm_comparison.py", ["not-a-dataset"])

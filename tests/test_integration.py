@@ -1,0 +1,63 @@
+"""Cross-module integration tests: full pipelines on realistic workloads.
+
+These go beyond the per-module suites: registry datasets in, all
+profilers + TANE through the harness, agreement verified, CSV round-trips
+included — the paths a downstream user actually exercises.
+"""
+
+import pytest
+
+from repro import Muds, profile, read_csv, write_csv
+from repro.datasets import ionosphere_like, load, ncvoter_like, uniprot_like
+from repro.harness import default_framework
+from repro.metadata import fd_signature
+
+SMALL_WORKLOADS = [
+    ("iris", None),
+    ("balance", None),
+    ("bridges", None),
+    ("chess", 300),
+    ("abalone", 300),
+    ("nursery", 400),
+    ("b-cancer", 200),
+]
+
+
+class TestRegistryWorkloads:
+    @pytest.mark.parametrize("name,rows", SMALL_WORKLOADS)
+    def test_all_contenders_agree(self, name, rows):
+        relation = load(name, n_rows=rows)
+        framework = default_framework(seed=0, faithful_muds=False)
+        executions = framework.run_all(relation)  # raises on disagreement
+        assert len(executions) == 4
+
+    def test_scalability_generators_agree(self):
+        for relation in (
+            uniprot_like(400, 10),
+            ionosphere_like(8),
+            ncvoter_like(300, 12),
+        ):
+            framework = default_framework(seed=1, faithful_muds=False)
+            framework.run_all(relation)
+
+
+class TestCsvPipeline:
+    def test_csv_roundtrip_profile(self, tmp_path):
+        relation = uniprot_like(150, 10)
+        path = tmp_path / "proteins.csv"
+        write_csv(relation, path)
+        loaded = read_csv(path)
+        direct = profile(relation, algorithm="muds")
+        via_csv = profile(loaded, algorithm="muds")
+        # CSV stringifies values, which cannot change positional
+        # (UCC/FD) metadata; signatures must survive the round trip.
+        assert fd_signature(direct.fds) == fd_signature(via_csv.fds)
+        assert len(direct.uccs) == len(via_csv.uccs)
+
+
+class TestSeedStability:
+    def test_muds_result_independent_of_seed(self):
+        relation = ncvoter_like(200, 10, seed=3)
+        results = [Muds(seed=s).profile(relation) for s in (0, 1, 99)]
+        assert results[0].same_metadata(results[1])
+        assert results[1].same_metadata(results[2])
