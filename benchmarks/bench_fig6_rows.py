@@ -56,8 +56,10 @@ def test_fig6_row_scalability(benchmark, bench_profile, report_sink):
     ]
     report_sink("fig6_rows", "\n".join(report))
 
-    # Shape checks (soft: orderings at the largest point).
-    top = points[-1]
-    assert top.seconds("hfun") < top.seconds("baseline"), (
-        "Holistic FUN should beat the sequential baseline (shared I/O)"
-    )
+    # Shape checks (soft: orderings at the largest point; too noisy to
+    # hold on the single tiny point of a CI smoke run).
+    if not bench_profile["smoke"]:
+        top = points[-1]
+        assert top.seconds("hfun") < top.seconds("baseline"), (
+            "Holistic FUN should beat the sequential baseline (shared I/O)"
+        )

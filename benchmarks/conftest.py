@@ -47,12 +47,24 @@ PROFILES = {
 
 @pytest.fixture(scope="session")
 def bench_profile() -> dict:
-    """Resolve the active workload profile."""
+    """Resolve the active workload profile.
+
+    ``REPRO_BENCH_SMOKE=1`` additionally truncates every sweep to its
+    first (smallest) point — CI uses this to exercise the benchmark code
+    paths end to end without paying for full sweeps.  Shape assertions
+    that need the whole series should be skipped when ``profile["smoke"]``
+    is set.
+    """
     name = os.environ.get("REPRO_BENCH_PROFILE", "quick")
     if name not in PROFILES:
         raise ValueError(f"REPRO_BENCH_PROFILE must be one of {sorted(PROFILES)}")
     profile = dict(PROFILES[name])
     profile["name"] = name
+    profile["smoke"] = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    if profile["smoke"]:
+        for key, value in profile.items():
+            if isinstance(value, list):
+                profile[key] = value[:1]
     return profile
 
 

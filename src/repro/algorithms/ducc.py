@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from ..lattice.search import LatticeSearch
 from ..pli.index import RelationIndex
+from ..pli.store import PliStore
 from ..relation.columnset import full_mask
 from ..relation.relation import Relation
 
@@ -66,6 +67,10 @@ def ducc(index: RelationIndex, rng: random.Random | None = None) -> DuccResult:
     )
 
 
-def ducc_on_relation(relation: Relation, rng: random.Random | None = None) -> DuccResult:
-    """Standalone DUCC including its own read/PLI pass (baseline mode)."""
-    return ducc(RelationIndex(relation), rng=rng)
+def ducc_on_relation(
+    relation: Relation,
+    rng: random.Random | None = None,
+    store: PliStore | None = None,
+) -> DuccResult:
+    """DUCC over the shared PLI store (a private store when omitted)."""
+    return ducc((store or PliStore()).index_for(relation), rng=rng)

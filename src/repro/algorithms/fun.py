@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from ..lattice.lattice import apriori_gen
 from ..pli.index import RelationIndex
 from ..pli.pli import PLI
+from ..pli.store import PliStore
 from ..relation.columnset import bit, direct_subsets, full_mask, iter_bits
 from ..relation.relation import Relation
 
@@ -123,6 +124,6 @@ def fun(index: RelationIndex) -> FunResult:
     )
 
 
-def fun_on_relation(relation: Relation) -> FunResult:
-    """Standalone FUN including its own read/PLI pass (baseline mode)."""
-    return fun(RelationIndex(relation))
+def fun_on_relation(relation: Relation, store: PliStore | None = None) -> FunResult:
+    """FUN over the shared PLI store (a private store when omitted)."""
+    return fun((store or PliStore()).index_for(relation))

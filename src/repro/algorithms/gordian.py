@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 from ..lattice.hitting_set import minimal_hitting_sets, minimalize
 from ..pli.index import RelationIndex
+from ..pli.store import PliStore
 from ..relation.columnset import full_mask
 from ..relation.relation import Relation
 
@@ -98,6 +99,8 @@ def gordian(index: RelationIndex) -> GordianResult:
     return GordianResult(sorted(minimal), maximal, len(sets))
 
 
-def gordian_on_relation(relation: Relation) -> GordianResult:
-    """Standalone run including the index-building pass."""
-    return gordian(RelationIndex(relation))
+def gordian_on_relation(
+    relation: Relation, store: PliStore | None = None
+) -> GordianResult:
+    """Gordian over the shared PLI store (a private store when omitted)."""
+    return gordian((store or PliStore()).index_for(relation))

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 from ..lattice.lattice import apriori_gen
 from ..pli.index import RelationIndex
+from ..pli.store import PliStore
 from ..relation.columnset import bit, iter_bits
 from ..relation.relation import Relation
 
@@ -85,6 +86,6 @@ def hca(index: RelationIndex) -> HcaResult:
     )
 
 
-def hca_on_relation(relation: Relation) -> HcaResult:
-    """Standalone run including the index-building pass."""
-    return hca(RelationIndex(relation))
+def hca_on_relation(relation: Relation, store: PliStore | None = None) -> HcaResult:
+    """HCA over the shared PLI store (a private store when omitted)."""
+    return hca((store or PliStore()).index_for(relation))

@@ -19,6 +19,7 @@ import heapq
 from collections.abc import Sequence
 
 from ..pli.index import RelationIndex
+from ..pli.store import PliStore
 from ..relation.relation import Relation
 from .values import canonical_value
 
@@ -85,9 +86,11 @@ def spider(index: RelationIndex) -> list[tuple[int, int]]:
     )
 
 
-def spider_on_relation(relation: Relation) -> list[tuple[int, int]]:
-    """Standalone SPIDER including its own read/sort pass (baseline mode)."""
-    return spider(RelationIndex(relation))
+def spider_on_relation(
+    relation: Relation, store: PliStore | None = None
+) -> list[tuple[int, int]]:
+    """SPIDER over the shared PLI store (a private store when omitted)."""
+    return spider((store or PliStore()).index_for(relation))
 
 
 def spider_across(

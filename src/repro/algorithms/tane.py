@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from ..lattice.lattice import apriori_gen
 from ..pli.index import RelationIndex
 from ..pli.pli import PLI
+from ..pli.store import PliStore
 from ..relation.columnset import bit, full_mask, iter_bits
 from ..relation.relation import Relation
 
@@ -137,7 +138,12 @@ def tane(index: RelationIndex, include_empty_lhs: bool = False) -> TaneResult:
 
 
 def tane_on_relation(
-    relation: Relation, include_empty_lhs: bool = False
+    relation: Relation,
+    include_empty_lhs: bool = False,
+    store: PliStore | None = None,
 ) -> TaneResult:
-    """Standalone TANE including its own read/PLI pass (baseline mode)."""
-    return tane(RelationIndex(relation), include_empty_lhs=include_empty_lhs)
+    """TANE over the shared PLI store (a private store when omitted)."""
+    return tane(
+        (store or PliStore()).index_for(relation),
+        include_empty_lhs=include_empty_lhs,
+    )

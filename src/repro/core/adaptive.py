@@ -22,7 +22,7 @@ from ..algorithms.ducc import ducc
 from ..algorithms.fun import fun
 from ..algorithms.spider import spider
 from ..metadata.results import ProfilingResult
-from ..pli.index import RelationIndex
+from ..pli.store import PliStore
 from ..relation.columnset import iter_bits, size
 from ..relation.relation import Relation
 from .muds import Muds
@@ -63,16 +63,24 @@ def prefer_muds(
 class AdaptiveProfiler:
     """Holistic profiler that picks its FD strategy from the UCC shape."""
 
-    def __init__(self, seed: int = 0, verify_completeness: bool = True):
+    def __init__(
+        self,
+        seed: int = 0,
+        verify_completeness: bool = True,
+        store: PliStore | None = None,
+    ):
         self.seed = seed
         self.verify_completeness = verify_completeness
+        self.store = store or PliStore()
 
     def profile(self, relation: Relation) -> ProfilingResult:
         """Profile with shared input pass, SPIDER, DUCC, then the FD
         strategy §6.5 would pick for this UCC geometry."""
         started = time.perf_counter()
-        index = RelationIndex(relation)
+        index = self.store.index_for(relation)
         read_seconds = time.perf_counter() - started
+        fd_checks_before = index.fd_checks
+        intersections_before = index.intersections
 
         timings = {"read_and_pli": read_seconds}
         started = time.perf_counter()
@@ -112,8 +120,8 @@ class AdaptiveProfiler:
             phase_seconds=timings,
             counters={
                 "ucc_checks": ducc_result.checks,
-                "fd_checks": index.fd_checks,
-                "pli_intersections": index.intersections,
+                "fd_checks": index.fd_checks - fd_checks_before,
+                "pli_intersections": index.intersections - intersections_before,
             },
         )
         result.counters["strategy_muds"] = int(use_muds)

@@ -23,7 +23,7 @@ import time
 from ..algorithms.fun import fun
 from ..algorithms.spider import spider
 from ..metadata.results import ProfilingResult
-from ..pli.index import RelationIndex
+from ..pli.store import PliStore
 from ..relation.columnset import bit, full_mask, iter_bits
 from ..relation.relation import Relation
 
@@ -84,12 +84,15 @@ class FdsFirstProfiler:
     """§3.1's strategy as a complete profiler: SPIDER + FUN, then UCCs
     derived from the FDs instead of collected during the traversal."""
 
+    def __init__(self, store: PliStore | None = None):
+        self.store = store or PliStore()
+
     def profile(self, relation: Relation) -> ProfilingResult:
         """Profile a relation; UCC derivation assumes duplicate-free rows
         (Lemma 2's precondition) and reports no UCCs otherwise — which is
         then also the correct answer."""
         started = time.perf_counter()
-        index = RelationIndex(relation)
+        index = self.store.index_for(relation)
         read_seconds = time.perf_counter() - started
 
         started = time.perf_counter()

@@ -17,7 +17,7 @@ import time
 from ..algorithms.fun import fun
 from ..algorithms.spider import spider
 from ..metadata.results import ProfilingResult
-from ..pli.index import RelationIndex
+from ..pli.store import PliStore
 from ..relation.relation import Relation
 
 __all__ = ["HolisticFun"]
@@ -26,11 +26,14 @@ __all__ = ["HolisticFun"]
 class HolisticFun:
     """Holistic FUN profiler: one input pass, three result sets."""
 
+    def __init__(self, store: PliStore | None = None):
+        self.store = store or PliStore()
+
     def profile(self, relation: Relation) -> ProfilingResult:
         """Profile a relation: shared read/PLI pass, SPIDER, then FUN with
         UCC collection."""
         started = time.perf_counter()
-        index = RelationIndex(relation)
+        index = self.store.index_for(relation)
         read_seconds = time.perf_counter() - started
 
         started = time.perf_counter()

@@ -36,6 +36,7 @@ from ..lattice.prefix_tree import PrefixTree
 from ..lattice.search import LatticeSearch
 from ..metadata.results import ProfilingResult
 from ..pli.index import RelationIndex
+from ..pli.store import PliStore
 from ..relation.columnset import bit, full_mask, iter_bits
 from ..relation.relation import Relation
 from .check_cache import CheckCache
@@ -77,6 +78,9 @@ class Muds:
     shadowed_passes:
         How many times Algorithm 2 is re-applied; the paper describes a
         single pass (the default).
+    store:
+        Shared PLI store the profiler obtains its relation index from; a
+        private store is created when omitted.
     """
 
     def __init__(
@@ -85,6 +89,7 @@ class Muds:
         verify_completeness: bool = True,
         use_ucc_pruning: bool = True,
         shadowed_passes: int = 1,
+        store: PliStore | None = None,
     ):
         if shadowed_passes < 0:
             raise ValueError("shadowed_passes must be non-negative")
@@ -92,13 +97,14 @@ class Muds:
         self.verify_completeness = verify_completeness
         self.use_ucc_pruning = use_ucc_pruning
         self.shadowed_passes = shadowed_passes
+        self.store = store or PliStore()
 
     # -- public API -----------------------------------------------------------
 
     def profile(self, relation: Relation) -> ProfilingResult:
         """Profile a relation end to end, including the shared input pass."""
         started = time.perf_counter()
-        index = RelationIndex(relation)
+        index = self.store.index_for(relation)
         read_seconds = time.perf_counter() - started
         report = self.run(index)
         report.phase_seconds = {"read_and_pli": read_seconds, **report.phase_seconds}
@@ -122,6 +128,9 @@ class Muds:
         rng = random.Random(self.seed)
         report = MudsReport()
         timer = _PhaseTimer(report.phase_seconds)
+        # Delta accounting: the index may be shared with earlier runs.
+        fd_checks_before = index.fd_checks
+        intersections_before = index.intersections
 
         # Phase 1: SPIDER on the shared duplicate-free value lists.
         with timer("spider"):
@@ -184,8 +193,10 @@ class Muds:
                 self._complete_z_rhs(index, cache, ucc_tree, report, fds, z_mask, rng)
 
         report.fds = fds
-        report.counters["fd_checks"] = index.fd_checks
-        report.counters["pli_intersections"] = index.intersections
+        report.counters["fd_checks"] = index.fd_checks - fd_checks_before
+        report.counters["pli_intersections"] = (
+            index.intersections - intersections_before
+        )
         report.counters["check_cache_hits"] = cache.memo_hits
         return report
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..pli.index import RelationIndex
+from ..pli.store import PliStore
 from ..relation.relation import Relation
 
 __all__ = ["ColumnStatistics", "profile_statistics"]
@@ -50,13 +51,16 @@ class ColumnStatistics:
 
 
 def profile_statistics(
-    relation: Relation, index: RelationIndex | None = None
+    relation: Relation,
+    index: RelationIndex | None = None,
+    store: PliStore | None = None,
 ) -> list[ColumnStatistics]:
     """Compute statistics for every column of a relation.
 
-    Pass a prebuilt ``index`` to share PLIs with dependency discovery.
+    Pass a prebuilt ``index`` (or a shared ``store``) to share PLIs with
+    dependency discovery.
     """
-    index = index or RelationIndex(relation)
+    index = index or (store or PliStore()).index_for(relation)
     statistics: list[ColumnStatistics] = []
     for position, name in enumerate(relation.column_names):
         values = relation.column(position)

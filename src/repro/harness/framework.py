@@ -6,18 +6,24 @@ collection so that algorithm comparisons are fair.  This module is the
 equivalent substrate: profilers are registered under a name, executed
 against relations through one code path with wall-clock measurement, and
 their results and metrics are collected uniformly.
+
+Each execution additionally snapshots the PLI kernel counters
+(:data:`repro.pli.pli.KERNEL_STATS`) around the run, so reports can show
+per-algorithm substrate activity — intersections performed, probe vectors
+built vs. reused — next to the phase timings (Fig. 8-style breakdowns).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
 from ..core.baseline import SequentialBaseline
 from ..core.holistic_fun import HolisticFun
 from ..core.muds import Muds
 from ..metadata.results import ProfilingResult
+from ..pli.pli import KERNEL_STATS
 from ..relation.relation import Relation
 
 __all__ = ["Profiler", "Execution", "Framework", "default_framework"]
@@ -39,6 +45,10 @@ class Execution:
     n_rows: int
     seconds: float
     result: ProfilingResult
+    #: True for single-task FD algorithms (TANE) that report no INDs/UCCs.
+    fd_only: bool = False
+    #: PLI kernel activity during this execution (counter deltas).
+    kernel: dict[str, int] = field(default_factory=dict)
 
     @property
     def counts(self) -> tuple[int, int, int]:
@@ -80,9 +90,11 @@ class Framework:
                 f"unknown algorithm {name!r}; registered: {self.algorithms}"
             ) from None
         profiler = factory()
+        kernel_before = KERNEL_STATS.snapshot()
         started = time.perf_counter()
         result = profiler.profile(relation)
         seconds = time.perf_counter() - started
+        kernel_after = KERNEL_STATS.snapshot()
         execution = Execution(
             algorithm=name,
             dataset=relation.name,
@@ -90,6 +102,11 @@ class Framework:
             n_rows=relation.n_rows,
             seconds=seconds,
             result=result,
+            fd_only=name in self._fd_only,
+            kernel={
+                counter: kernel_after[counter] - kernel_before[counter]
+                for counter in kernel_after
+            },
         )
         self.executions.append(execution)
         return execution
@@ -134,14 +151,17 @@ def default_framework(seed: int = 0, faithful_muds: bool = True) -> Framework:
     (``verify_completeness=False``) used for benchmark comparisons; pass
     ``False`` to benchmark the exactness-certifying default instead.
     """
-    from ..pli.index import RelationIndex  # local import to avoid cycle
     from ..algorithms.tane import tane
+    from ..pli.store import PliStore
 
     class _TaneProfiler:
         """TANE wrapped as a (FD-only) profiler for Table 3 comparisons."""
 
+        def __init__(self) -> None:
+            self.store = PliStore()
+
         def profile(self, relation: Relation) -> ProfilingResult:
-            index = RelationIndex(relation)
+            index = self.store.index_for(relation)
             result = tane(index)
             return ProfilingResult.from_masks(
                 relation_name=relation.name,

@@ -77,6 +77,21 @@ def render_profile_report(
             [[phase, f"{seconds:.4f}"] for phase, seconds in result.phase_seconds.items()],
         )
     )
+
+    counters = dict(result.counters)
+    if index is not None:
+        counters.update(index.kernel_counters())
+    if counters:
+        lines += ["", "## Kernel counters", ""]
+        lines.append(
+            markdown_table(
+                ["counter", "value"],
+                [
+                    [name, f"{value:.3f}" if isinstance(value, float) else value]
+                    for name, value in sorted(counters.items())
+                ],
+            )
+        )
     return "\n".join(lines)
 
 

@@ -33,11 +33,22 @@ class SweepPoint:
         raise KeyError(f"no execution of {algorithm!r} at point {self.label!r}")
 
     def counts(self) -> tuple[int, int, int]:
-        """(#INDs, #UCCs, #FDs) from the first full profiler at this point."""
+        """(#INDs, #UCCs, #FDs) from the first full profiler at this point.
+
+        Only full (non-``fd_only``) profilers report all three metadata
+        types; an FD-only execution (TANE) must never supply the counts —
+        it would mis-report ``(0, 0, #FDs)`` even when the dataset has
+        INDs and UCCs.  Raises :class:`ValueError` when the point holds no
+        full-profiler execution at all.
+        """
         for execution in self.executions:
-            if execution.result.inds or execution.result.uccs:
+            if not execution.fd_only:
                 return execution.counts
-        return self.executions[0].counts
+        executed = [execution.algorithm for execution in self.executions]
+        raise ValueError(
+            f"no full-profiler execution at point {self.label!r}; "
+            f"executed algorithms: {executed or 'none'}"
+        )
 
 
 class ExperimentRunner:

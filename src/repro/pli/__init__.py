@@ -1,13 +1,26 @@
-"""Position list index substrate (stripped partitions, cache, index)."""
+"""Position list index substrate (stripped partitions, cache, index, store)."""
 
 from .cache import PliCache
 from .index import RelationIndex
-from .pli import PLI, pli_from_column, pli_from_vector, value_vector
+from .pli import (
+    KERNEL_STATS,
+    KernelStats,
+    PLI,
+    legacy_intersect,
+    pli_from_column,
+    pli_from_vector,
+    value_vector,
+)
+from .store import PliStore
 
 __all__ = [
+    "KERNEL_STATS",
+    "KernelStats",
     "PLI",
     "PliCache",
+    "PliStore",
     "RelationIndex",
+    "legacy_intersect",
     "pli_from_column",
     "pli_from_vector",
     "value_vector",

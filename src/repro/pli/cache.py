@@ -6,6 +6,12 @@ paper shares one PLI store across all tasks ("shared data structures").
 This cache keys PLIs by column bitmask.  Single-column PLIs are pinned —
 they are the generators of everything else — while composite PLIs are
 evicted in least-recently-used order once ``capacity`` is exceeded.
+
+``capacity=0`` is the documented **pinned-only** mode: single-column PLIs
+are kept as always, composite ``put``\\ s are ignored outright (they are
+neither inserted, counted, nor evicted), so memory stays bounded by the
+column count.  Use it when composite reuse is known to be nil (e.g. one
+level-wise sweep that never revisits a node).
 """
 
 from __future__ import annotations
@@ -19,7 +25,12 @@ __all__ = ["PliCache"]
 
 
 class PliCache:
-    """LRU cache of ``mask -> PLI`` with pinned single-column entries."""
+    """LRU cache of ``mask -> PLI`` with pinned single-column entries.
+
+    ``insertions`` counts entries actually stored (pinned or composite);
+    ``evictions`` counts LRU removals.  A composite ``put`` on a
+    capacity-0 cache is a no-op and moves neither counter.
+    """
 
     def __init__(self, capacity: int = 4096):
         if capacity < 0:
@@ -29,6 +40,8 @@ class PliCache:
         self._entries: OrderedDict[int, PLI] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._pinned) + len(self._entries)
@@ -55,14 +68,25 @@ class PliCache:
         return self._pinned.get(mask) or self._entries.get(mask)
 
     def put(self, mask: int, pli: PLI) -> None:
-        """Insert a PLI; single-column masks are pinned permanently."""
+        """Insert a PLI; single-column masks are pinned permanently.
+
+        In pinned-only mode (``capacity == 0``) composite PLIs are
+        discarded without being inserted — callers still get memoization
+        for the pinned single-column generators, nothing else.
+        """
         if size(mask) <= 1:
             self._pinned[mask] = pli
+            self.insertions += 1
             return
+        if self.capacity == 0:
+            return
+        if mask not in self._entries:
+            self.insertions += 1
         self._entries[mask] = pli
         self._entries.move_to_end(mask)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+            self.evictions += 1
 
     def clear_composites(self) -> None:
         """Drop every non-pinned entry (e.g. between profiling phases)."""
@@ -73,6 +97,17 @@ class PliCache:
         """Fraction of lookups answered from cache (0.0 when unused)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, int | float]:
+        """Counter snapshot for harness reporting."""
+        return {
+            "cache_entries": len(self),
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cache_insertions": self.insertions,
+            "cache_evictions": self.evictions,
+            "cache_hit_rate": self.hit_rate,
+        }
 
     def __repr__(self) -> str:
         return (

@@ -13,7 +13,9 @@ grouped by value, and from that single pass we obtain
 All higher-level algorithms request composite PLIs through
 :meth:`RelationIndex.pli`; requests are memoized in a :class:`PliCache` and
 intersection/check counters are kept for the cost accounting that the
-evaluation section reports.
+evaluation section reports.  Single-column requests go through the cache
+too (they are always hits — the generators are pinned at construction), so
+the cache hit-rate reflects the full lookup traffic of an algorithm run.
 """
 
 from __future__ import annotations
@@ -23,7 +25,7 @@ from typing import Any
 from ..relation.columnset import bit, iter_bits, lowest_bit
 from ..relation.relation import Relation
 from .cache import PliCache
-from .pli import PLI, value_vector
+from .pli import PLI
 
 __all__ = ["RelationIndex"]
 
@@ -53,12 +55,25 @@ class RelationIndex:
 
         for column_index in range(self.n_columns):
             values = relation.column(column_index)
+            # One grouping pass per column yields the PLI, the dense value
+            # vector, and the duplicate-free value list together.
             groups: dict[Any, list[int]] = {}
             for row, value in enumerate(values):
-                groups.setdefault(value, []).append(row)
-            pli = PLI([g for g in groups.values() if len(g) >= 2], self.n_rows)
+                group = groups.get(value)
+                if group is None:
+                    groups[value] = [row]
+                else:
+                    group.append(row)
+            pli = PLI._from_canonical(
+                tuple(tuple(g) for g in groups.values() if len(g) >= 2),
+                self.n_rows,
+            )
             self.cache.put(bit(column_index), pli)
-            self._vectors.append(value_vector(values))
+            vector = [0] * self.n_rows
+            for value_id, group in enumerate(groups.values()):
+                for row in group:
+                    vector[row] = value_id
+            self._vectors.append(vector)
             self._distinct_values.append(list(groups))
 
     # -- single-column views -------------------------------------------------
@@ -71,13 +86,17 @@ class RelationIndex:
         """Duplicate-free values of one column, in first-seen order.
 
         ``None`` (NULL) is included; SPIDER filters it out itself because
-        NULLs never violate an inclusion dependency.
+        NULLs never violate an inclusion dependency.  The list is a view of
+        the pinned single-column PLI's grouping pass, so retrieving it is a
+        counted access to the shared cache (§3: "PLIs map values to
+        positions so that Spider can retrieve duplicate-free value lists").
         """
+        self.cache.get(bit(column_index))
         return self._distinct_values[column_index]
 
     def column_pli(self, column_index: int) -> PLI:
-        """Pinned single-column PLI."""
-        pli = self.cache.peek(bit(column_index))
+        """Pinned single-column PLI (a counted cache access)."""
+        pli = self.cache.get(bit(column_index))
         assert pli is not None  # pinned at construction
         return pli
 
@@ -151,6 +170,19 @@ class RelationIndex:
             if lhs_mask >> rhs & 1 or pli.refines(self._vectors[rhs]):
                 valid |= bit(rhs)
         return valid
+
+    # -- accounting -----------------------------------------------------------
+
+    def kernel_counters(self) -> dict[str, int | float]:
+        """Substrate counters for harness reporting: check/intersection
+        totals of this index plus its cache statistics."""
+        counters: dict[str, int | float] = {
+            "pli_intersections": self.intersections,
+            "fd_checks": self.fd_checks,
+            "uniqueness_checks": self.uniqueness_checks,
+        }
+        counters.update(self.cache.stats())
+        return counters
 
     def __repr__(self) -> str:
         return (

@@ -9,10 +9,26 @@ Three operations drive all UCC/FD discovery:
 
 * :func:`pli_from_column` — build the PLI of a single column,
 * :meth:`PLI.intersect` — combine ``PLI(X)`` and ``PLI(Y)`` into
-  ``PLI(X ∪ Y)`` by pairwise id-set intersection,
+  ``PLI(X ∪ Y)`` by grouping the clustered rows of one side by the cluster
+  ids of the other,
 * :meth:`PLI.refines` — the partition-refinement FD check of Lemma 1:
   ``X → A  ⇔  |X| = |X ∪ {A}|``, evaluated without materializing
   ``PLI(X ∪ {A})`` by probing a dense value vector of ``A``.
+
+The kernel keeps a dual representation.  The canonical stripped-cluster
+form (sorted tuples of sorted row ids) defines equality and hashing; on top
+of it every PLI lazily materializes a memoized **cluster-id probe vector**
+(one entry per row, ``-1`` for stripped rows).  The probe vector replaces
+the per-intersect probe-dict rebuild of the naive kernel: once built it is
+reused by every subsequent intersection against the same PLI — which is
+the dominant access pattern of the level-wise and random-walk algorithms,
+all of which intersect the same single-column PLIs over and over.
+
+The probe vector is a flat ``list`` rather than an ``array('i')``: CPython
+boxes a fresh ``int`` on every ``array`` subscript, which costs the hot
+intersection loop ~15% (measured in ``benchmarks/bench_pli_kernel.py``);
+a list subscript just returns the stored object.  The density (one slot
+per row) is what matters, not the 4-byte element width.
 
 NULL semantics: ``None`` is treated as a regular value equal to itself, the
 Metanome default for FD/UCC discovery.
@@ -23,7 +39,56 @@ from __future__ import annotations
 from collections.abc import Sequence
 from typing import Any
 
-__all__ = ["PLI", "pli_from_column", "value_vector", "pli_from_vector"]
+__all__ = [
+    "PLI",
+    "KernelStats",
+    "KERNEL_STATS",
+    "legacy_intersect",
+    "pli_from_column",
+    "value_vector",
+    "pli_from_vector",
+]
+
+
+class KernelStats:
+    """Process-wide counters of the PLI kernel.
+
+    The harness snapshots these around each algorithm execution to report
+    per-run kernel activity (intersections performed, probe vectors built
+    vs. reused) next to the cache statistics — the Fig. 8-style cost
+    accounting of the shared substrate.
+    """
+
+    __slots__ = ("intersections", "probe_builds", "probe_reuses")
+
+    def __init__(self) -> None:
+        self.intersections = 0
+        self.probe_builds = 0
+        self.probe_reuses = 0
+
+    def reset(self) -> None:
+        """Zero all counters (tests and benchmark isolation)."""
+        self.intersections = 0
+        self.probe_builds = 0
+        self.probe_reuses = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Current counter values as a plain dict."""
+        return {
+            "pli_intersections": self.intersections,
+            "probe_builds": self.probe_builds,
+            "probe_reuses": self.probe_reuses,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"KernelStats(intersections={self.intersections}, "
+            f"probe_builds={self.probe_builds}, probe_reuses={self.probe_reuses})"
+        )
+
+
+#: The kernel's shared counter instance (single-threaded substrate).
+KERNEL_STATS = KernelStats()
 
 
 def value_vector(values: Sequence[Any]) -> list[int]:
@@ -48,7 +113,7 @@ class PLI:
     equal partitions have equal representations.
     """
 
-    __slots__ = ("clusters", "n_rows")
+    __slots__ = ("clusters", "n_rows", "_probe")
 
     def __init__(self, clusters: Sequence[Sequence[int]], n_rows: int):
         normalized = sorted(
@@ -56,6 +121,25 @@ class PLI:
         )
         self.clusters: tuple[tuple[int, ...], ...] = tuple(normalized)
         self.n_rows = n_rows
+        self._probe: list[int] | None = None
+
+    @classmethod
+    def _from_canonical(
+        cls, clusters: tuple[tuple[int, ...], ...], n_rows: int
+    ) -> "PLI":
+        """Trusted constructor for already-canonical clusters.
+
+        ``clusters`` must contain only size-≥2 tuples, each sorted
+        ascending, ordered by smallest row id.  The kernel's own operations
+        produce exactly that shape, so re-normalizing (the public
+        constructor's per-cluster sort plus global sort) would be wasted
+        work on the hot path.
+        """
+        pli = object.__new__(cls)
+        pli.clusters = clusters
+        pli.n_rows = n_rows
+        pli._probe = None
+        return pli
 
     # -- derived measures --------------------------------------------------
 
@@ -85,39 +169,83 @@ class PLI:
         """True iff the column combination is a UCC (empty stripped PLI)."""
         return not self.clusters
 
+    # -- probe vector ------------------------------------------------------
+
+    def probe_vector(self) -> list[int]:
+        """Per-row cluster ids as a flat list; ``-1`` marks rows outside
+        every cluster (stripped singletons).
+
+        Built lazily on first use and memoized for the lifetime of the PLI:
+        the level-wise and random-walk algorithms intersect the same
+        (single-column) PLIs against ever-changing partners, so the probe
+        side is paid once and amortized across every later intersection.
+        Do not mutate the returned list.
+        """
+        probe = self._probe
+        if probe is not None:
+            KERNEL_STATS.probe_reuses += 1
+            return probe
+        KERNEL_STATS.probe_builds += 1
+        probe = [-1] * self.n_rows
+        for cluster_id, cluster in enumerate(self.clusters):
+            for row in cluster:
+                probe[row] = cluster_id
+        self._probe = probe
+        return probe
+
     # -- algebra -------------------------------------------------------------
 
     def intersect(self, other: "PLI") -> "PLI":
         """Return the PLI of the united column combination.
 
-        Standard probe-table intersection (§2.2): rows that share a cluster
-        in *both* inputs end up in a common output cluster.
+        One pass over the smaller side's clustered rows: rows are grouped
+        by their cluster id in ``other`` (via the memoized probe vector),
+        i.e. by the pair ``(cluster_a, cluster_b)``; groups of size ≥ 2
+        survive.  No probe table is rebuilt per call and the result enters
+        the trusted constructor already canonical.
         """
         if self.n_rows != other.n_rows:
             raise ValueError(
                 f"cannot intersect PLIs over {self.n_rows} and {other.n_rows} rows"
             )
-        # Probe the smaller side for speed; intersection is commutative.
+        # Scan the side with fewer clustered rows; probe the other.  The
+        # probe vector is memoized on the probed PLI, so repeatedly
+        # intersecting against the same PLI (the single-column generators)
+        # pays its construction exactly once.
         small, large = (
-            (self, other) if self.n_clustered_rows <= other.n_clustered_rows else (other, self)
+            (self, other)
+            if self.n_clustered_rows <= other.n_clustered_rows
+            else (other, self)
         )
-        probe: dict[int, int] = {}
-        for cluster_id, cluster in enumerate(large.clusters):
-            for row in cluster:
-                probe[row] = cluster_id
-        result: list[list[int]] = []
+        KERNEL_STATS.intersections += 1
+        probe = large.probe_vector()
+        # Group rows by partner cluster through a flat bucket table indexed
+        # by cluster id — no hashing on the per-row path.  Partner -1
+        # (stripped in ``large``) lands in the one extra slot at index -1
+        # and is dropped during the sweep of touched slots.
+        buckets: list[list[int] | None] = [None] * (len(large.clusters) + 1)
+        result: list[tuple[int, ...]] = []
+        append = result.append
         for cluster in small.clusters:
-            groups: dict[int, list[int]] = {}
+            touched: list[int] = []
+            mark = touched.append
             for row in cluster:
-                other_cluster = probe.get(row)
-                if other_cluster is not None:
-                    groups.setdefault(other_cluster, []).append(row)
-            # Singletons would be stripped by the constructor anyway;
-            # filtering here avoids building tuples for them.
-            for group in groups.values():
-                if len(group) >= 2:
-                    result.append(group)
-        return PLI(result, self.n_rows)
+                partner = probe[row]
+                group = buckets[partner]
+                if group is None:
+                    buckets[partner] = [row]
+                    mark(partner)
+                else:
+                    group.append(row)
+            for partner in touched:
+                group = buckets[partner]
+                buckets[partner] = None
+                if partner >= 0 and len(group) >= 2:
+                    append(tuple(group))
+        # Rows within a group ascend (cluster order); clusters are disjoint,
+        # so ordering by first element is full canonical order.
+        result.sort()
+        return PLI._from_canonical(tuple(result), self.n_rows)
 
     def refines(self, vector: Sequence[int]) -> bool:
         """Partition-refinement FD check (Lemma 1).
@@ -125,7 +253,17 @@ class PLI:
         ``self`` is ``PLI(X)`` and ``vector`` the dense value vector of a
         candidate right-hand side ``A``; returns True iff ``X → A``, i.e.
         every cluster of ``X`` is value-constant in ``A``.
+
+        ``vector`` must have exactly one entry per row of the partitioned
+        relation; mismatched lengths (e.g. a vector built from a projected
+        relation) are rejected instead of surfacing as an opaque
+        ``IndexError`` mid-scan.
         """
+        if len(vector) != self.n_rows:
+            raise ValueError(
+                f"probe vector has {len(vector)} entries but the PLI spans "
+                f"{self.n_rows} rows"
+            )
         for cluster in self.clusters:
             first = vector[cluster[0]]
             for row in cluster[1:]:
@@ -163,12 +301,55 @@ class PLI:
         return f"PLI({self.n_clusters} clusters over {self.n_rows} rows)"
 
 
+def legacy_intersect(left: PLI, right: PLI) -> PLI:
+    """The seed kernel's intersection, kept as a differential reference.
+
+    Rebuilds a probe dictionary over the larger side on every call and
+    routes the result through the normalizing public constructor — exactly
+    the behaviour the array-backed kernel replaces.  Used by the
+    differential test suite and ``benchmarks/bench_pli_kernel.py`` to prove
+    the new path produces identical PLIs, faster.
+    """
+    if left.n_rows != right.n_rows:
+        raise ValueError(
+            f"cannot intersect PLIs over {left.n_rows} and {right.n_rows} rows"
+        )
+    small, large = (
+        (left, right)
+        if left.n_clustered_rows <= right.n_clustered_rows
+        else (right, left)
+    )
+    probe: dict[int, int] = {}
+    for cluster_id, cluster in enumerate(large.clusters):
+        for row in cluster:
+            probe[row] = cluster_id
+    result: list[list[int]] = []
+    for cluster in small.clusters:
+        groups: dict[int, list[int]] = {}
+        for row in cluster:
+            other_cluster = probe.get(row)
+            if other_cluster is not None:
+                groups.setdefault(other_cluster, []).append(row)
+        for group in groups.values():
+            if len(group) >= 2:
+                result.append(group)
+    return PLI(result, left.n_rows)
+
+
 def pli_from_column(values: Sequence[Any]) -> PLI:
     """Build the stripped PLI of one column."""
     groups: dict[Any, list[int]] = {}
     for row, value in enumerate(values):
-        groups.setdefault(value, []).append(row)
-    return PLI([g for g in groups.values() if len(g) >= 2], len(values))
+        group = groups.get(value)
+        if group is None:
+            groups[value] = [row]
+        else:
+            group.append(row)
+    # Insertion order is first-occurrence order, so clusters already ascend
+    # by smallest row id and rows ascend within each cluster: canonical.
+    return PLI._from_canonical(
+        tuple(tuple(g) for g in groups.values() if len(g) >= 2), len(values)
+    )
 
 
 def pli_from_vector(vector: Sequence[int]) -> PLI:

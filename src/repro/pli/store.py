@@ -1,0 +1,79 @@
+"""Cross-algorithm PLI store: one :class:`RelationIndex` per relation.
+
+The paper's central systems claim (§5, "shared data structures") is that
+holistic profiling wins by building the PLI substrate once and letting
+every task — IND, UCC, and FD discovery alike — read from it.  The
+:class:`PliStore` is that sharing point made explicit: profilers and the
+standalone algorithm entry points obtain their :class:`RelationIndex`
+through :meth:`PliStore.index_for`, so two algorithms profiling the same
+relation hit the same pinned single-column PLIs, the same memoized
+composite PLIs, and the same :class:`~repro.pli.cache.PliCache`
+statistics.
+
+Stores hold strong references to their relations, so they are meant to be
+*scoped*: one per profiler run, per framework execution, or per
+interactive session — not process-global.  :meth:`discard` and
+:meth:`clear` release what a long-lived store no longer needs.
+"""
+
+from __future__ import annotations
+
+from ..relation.relation import Relation
+from .index import RelationIndex
+
+__all__ = ["PliStore"]
+
+
+class PliStore:
+    """Registry of shared :class:`RelationIndex` instances, keyed by
+    relation identity.
+
+    Parameters
+    ----------
+    cache_capacity:
+        Forwarded to every :class:`RelationIndex` this store builds
+        (bound on memoized composite PLIs; single columns always kept).
+    """
+
+    def __init__(self, cache_capacity: int = 4096):
+        self.cache_capacity = cache_capacity
+        self._indexes: dict[int, tuple[Relation, RelationIndex]] = {}
+        #: Index builds performed (one per distinct relation seen).
+        self.builds = 0
+        #: index_for calls answered with an existing index.
+        self.reuses = 0
+
+    def __len__(self) -> int:
+        return len(self._indexes)
+
+    def __contains__(self, relation: Relation) -> bool:
+        return id(relation) in self._indexes
+
+    def index_for(self, relation: Relation) -> RelationIndex:
+        """The shared index of ``relation``, built on first request.
+
+        Keyed by object identity: the store keeps the relation alive, so
+        an id collision with a dead object cannot occur.
+        """
+        entry = self._indexes.get(id(relation))
+        if entry is not None:
+            self.reuses += 1
+            return entry[1]
+        index = RelationIndex(relation, cache_capacity=self.cache_capacity)
+        self._indexes[id(relation)] = (relation, index)
+        self.builds += 1
+        return index
+
+    def discard(self, relation: Relation) -> None:
+        """Drop the index of ``relation`` (no-op when absent)."""
+        self._indexes.pop(id(relation), None)
+
+    def clear(self) -> None:
+        """Drop every index (e.g. between benchmark sweeps)."""
+        self._indexes.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"PliStore({len(self)} relations, builds={self.builds}, "
+            f"reuses={self.reuses})"
+        )

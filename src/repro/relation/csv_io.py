@@ -62,20 +62,23 @@ def read_csv(
 
     nulls = frozenset(null_values)
     reader = csv.reader(source, delimiter=delimiter)
-    rows = list(reader)
-    if not rows:
+    # Stream row by row: decode and width-check incrementally instead of
+    # materializing the raw rows first, so the input is never held twice.
+    first = next(reader, None)
+    if first is None:
         raise SchemaError("empty CSV input: no header and no data")
 
+    decoded: list[tuple[object, ...]] = []
     if has_header:
-        header, data = rows[0], rows[1:]
+        header = first
+        start = 2
     else:
-        width = len(rows[0])
-        header = [f"column_{i}" for i in range(width)]
-        data = rows
+        header = [f"column_{i}" for i in range(len(first))]
+        decoded.append(tuple(None if f in nulls else f for f in first))
+        start = 2  # the first data row was line 1, already decoded
 
     width = len(header)
-    decoded: list[tuple[object, ...]] = []
-    for line_no, row in enumerate(data, start=2 if has_header else 1):
+    for line_no, row in enumerate(reader, start=start):
         if len(row) != width:
             raise SchemaError(
                 f"line {line_no}: expected {width} fields, found {len(row)}"

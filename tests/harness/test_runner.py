@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.holistic_fun import HolisticFun
 from repro.harness import ExperimentRunner, Framework
+from repro.harness.runner import SweepPoint
 from repro.relation import Relation
 
 
@@ -43,3 +44,40 @@ class TestSweep:
         points = runner.sweep([4], workload)
         inds, uccs, fds = points[0].counts()
         assert uccs >= 1
+
+
+class TestCountsSelection:
+    """`SweepPoint.counts()` must report the full profiler's metadata even
+    when an FD-only algorithm (TANE) happens to be registered first."""
+
+    def test_skips_fd_only_execution_at_position_zero(self):
+        framework = Framework()
+        framework.register("tane", _tane_profiler, fd_only=True)
+        framework.register("hfun", HolisticFun)
+        runner = ExperimentRunner(framework)
+        points = runner.sweep([6], workload)
+        assert points[0].executions[0].algorithm == "tane"
+        assert points[0].executions[0].fd_only
+        inds, uccs, fds = points[0].counts()
+        # The FD-only execution would report 0 UCCs; the full profiler
+        # must find at least the key column A.
+        assert uccs >= 1
+
+    def test_no_full_profiler_raises_value_error(self):
+        framework = Framework()
+        framework.register("tane", _tane_profiler, fd_only=True)
+        runner = ExperimentRunner(framework)
+        points = runner.sweep([4], workload)
+        with pytest.raises(ValueError, match=r"no full-profiler execution"):
+            points[0].counts()
+
+    def test_empty_point_raises_value_error_not_index_error(self):
+        point = SweepPoint(label="empty")
+        with pytest.raises(ValueError, match=r"none"):
+            point.counts()
+
+
+def _tane_profiler():
+    from repro.harness.framework import default_framework
+
+    return default_framework()._profilers["tane"]()

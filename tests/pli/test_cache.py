@@ -73,3 +73,67 @@ class TestPliCache:
     def test_negative_capacity_rejected(self):
         with pytest.raises(ValueError):
             PliCache(capacity=-1)
+
+
+class TestPinnedOnlyMode:
+    """capacity=0 is the documented pinned-only mode: composite puts are
+    ignored outright instead of being inserted and instantly evicted."""
+
+    def test_composite_put_is_a_noop(self):
+        cache = PliCache(capacity=0)
+        cache.put(0b11, make_pli())
+        assert 0b11 not in cache
+        assert len(cache) == 0
+        assert cache.insertions == 0
+        assert cache.evictions == 0
+
+    def test_single_columns_still_pinned(self):
+        cache = PliCache(capacity=0)
+        cache.put(0b1, make_pli())
+        cache.put(0b100, make_pli())
+        assert len(cache) == 2
+        assert cache.insertions == 2
+        assert cache.get(0b1) is not None
+
+    def test_hit_rate_accounting_in_pinned_only_mode(self):
+        cache = PliCache(capacity=0)
+        cache.put(0b1, make_pli())
+        cache.put(0b11, make_pli())  # dropped
+        assert cache.get(0b1) is not None   # hit
+        assert cache.get(0b11) is None      # miss (never stored)
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+
+class TestCounters:
+    def test_insertions_counted_once_per_entry(self):
+        cache = PliCache(capacity=4)
+        cache.put(0b11, make_pli())
+        cache.put(0b11, make_pli())  # overwrite, same mask
+        cache.put(0b101, make_pli())
+        assert cache.insertions == 2
+
+    def test_eviction_order_is_lru(self):
+        cache = PliCache(capacity=2)
+        cache.put(0b011, make_pli())
+        cache.put(0b101, make_pli())
+        cache.get(0b011)                  # 0b101 becomes least recent
+        cache.put(0b110, make_pli())      # evicts 0b101
+        cache.put(0b1100, make_pli())     # evicts 0b011
+        assert 0b101 not in cache
+        assert 0b011 not in cache
+        assert 0b110 in cache
+        assert cache.evictions == 2
+
+    def test_stats_snapshot(self):
+        cache = PliCache(capacity=2)
+        cache.put(0b1, make_pli())
+        cache.get(0b1)
+        cache.get(0b10)
+        stats = cache.stats()
+        assert stats["cache_hits"] == 1
+        assert stats["cache_misses"] == 1
+        assert stats["cache_insertions"] == 1
+        assert stats["cache_evictions"] == 0
+        assert stats["cache_hit_rate"] == pytest.approx(0.5)

@@ -4,7 +4,14 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.pli import PLI, pli_from_column, pli_from_vector, value_vector
+from repro.pli import (
+    KERNEL_STATS,
+    PLI,
+    legacy_intersect,
+    pli_from_column,
+    pli_from_vector,
+    value_vector,
+)
 
 columns = st.lists(st.one_of(st.none(), st.integers(0, 5)), max_size=30)
 two_columns = st.lists(
@@ -133,3 +140,77 @@ class TestVectors:
     def test_to_vector_roundtrip(self, values):
         pli = pli_from_column(values)
         assert pli_from_vector(pli.to_vector()) == pli
+
+
+class TestProbeVector:
+    def test_singletons_are_negative(self):
+        pli = pli_from_column(["a", "b", "a", "c"])
+        assert list(pli.probe_vector()) == [0, -1, 0, -1]
+
+    def test_memoized(self):
+        pli = pli_from_column([1, 1, 2, 2])
+        assert pli.probe_vector() is pli.probe_vector()
+
+    @given(columns)
+    def test_probe_matches_cluster_membership(self, values):
+        pli = pli_from_column(values)
+        probe = pli.probe_vector()
+        assert len(probe) == pli.n_rows
+        for cluster_id, cluster in enumerate(pli.clusters):
+            for row in cluster:
+                assert probe[row] == cluster_id
+        clustered = {row for cluster in pli.clusters for row in cluster}
+        for row in range(pli.n_rows):
+            if row not in clustered:
+                assert probe[row] == -1
+
+    def test_kernel_stats_count_builds_and_reuses(self):
+        before = KERNEL_STATS.snapshot()
+        a = pli_from_column([1, 1, 2, 2, 3, 3])
+        b = pli_from_column([1, 2, 1, 2, 1, 2])
+        a.intersect(b)
+        a.intersect(b)
+        after = KERNEL_STATS.snapshot()
+        assert after["pli_intersections"] - before["pli_intersections"] == 2
+        assert after["probe_builds"] - before["probe_builds"] == 1
+        assert after["probe_reuses"] - before["probe_reuses"] == 1
+
+
+class TestCanonicalForm:
+    """The trusted constructor path must emit the canonical representation."""
+
+    @given(columns)
+    def test_from_column_is_canonical(self, values):
+        pli = pli_from_column(values)
+        renormalized = PLI(pli.clusters, pli.n_rows)
+        assert pli.clusters == renormalized.clusters
+
+    @given(two_columns)
+    def test_intersect_output_is_canonical(self, rows):
+        left = pli_from_column([r[0] for r in rows])
+        right = pli_from_column([r[1] for r in rows])
+        joint = left.intersect(right)
+        renormalized = PLI(joint.clusters, joint.n_rows)
+        assert joint.clusters == renormalized.clusters
+
+    @given(two_columns)
+    def test_intersect_matches_legacy_kernel(self, rows):
+        left = pli_from_column([r[0] for r in rows])
+        right = pli_from_column([r[1] for r in rows])
+        assert left.intersect(right) == legacy_intersect(left, right)
+
+
+class TestRefinesGuard:
+    def test_short_vector_rejected_with_both_sizes(self):
+        pli = pli_from_column(["a", "a", "b", "b"])
+        with pytest.raises(ValueError, match=r"2 entries.*4 rows"):
+            pli.refines([0, 0])
+
+    def test_long_vector_rejected(self):
+        pli = pli_from_column(["a", "a"])
+        with pytest.raises(ValueError, match=r"5 entries.*2 rows"):
+            pli.refines([0, 0, 1, 1, 2])
+
+    def test_matching_length_accepted(self):
+        pli = pli_from_column(["a", "a", "b"])
+        assert pli.refines([7, 7, 9])

@@ -1,0 +1,113 @@
+"""Tests for the cross-algorithm shared PLI store."""
+
+import random
+
+import pytest
+
+from repro.algorithms.ducc import ducc_on_relation
+from repro.algorithms.fun import fun_on_relation
+from repro.algorithms.gordian import gordian_on_relation
+from repro.algorithms.hca import hca_on_relation
+from repro.algorithms.spider import spider_on_relation
+from repro.algorithms.tane import tane_on_relation
+from repro.core.adaptive import AdaptiveProfiler
+from repro.core.baseline import SequentialBaseline
+from repro.core.fds_first import FdsFirstProfiler
+from repro.core.holistic_fun import HolisticFun
+from repro.core.muds import Muds
+from repro.core.statistics import profile_statistics
+from repro.pli import PliStore
+from repro.relation import Relation
+
+
+@pytest.fixture
+def relation() -> Relation:
+    return Relation.from_rows(
+        ["employee_id", "city", "zip", "state", "work_state"],
+        [
+            ("E1", "Portland", "97201", "OR", "OR"),
+            ("E2", "Portland", "97201", "OR", "WA"),
+            ("E3", "Salem", "97301", "OR", "OR"),
+            ("E4", "Seattle", "98101", "WA", "WA"),
+            ("E5", "Spokane", "99201", "WA", "OR"),
+        ],
+        name="employees",
+    )
+
+
+class TestPliStore:
+    def test_index_is_built_once_and_shared(self, relation):
+        store = PliStore()
+        first = store.index_for(relation)
+        second = store.index_for(relation)
+        assert first is second
+        assert store.builds == 1
+        assert store.reuses == 1
+        assert len(store) == 1
+        assert relation in store
+
+    def test_distinct_relations_get_distinct_indexes(self, relation):
+        other = Relation.from_rows(["a"], [(1,), (2,)], name="other")
+        store = PliStore()
+        assert store.index_for(relation) is not store.index_for(other)
+        assert store.builds == 2
+
+    def test_discard_and_clear(self, relation):
+        store = PliStore()
+        store.index_for(relation)
+        store.discard(relation)
+        assert relation not in store
+        store.index_for(relation)
+        store.clear()
+        assert len(store) == 0
+        assert store.builds == 2  # rebuilt after discard
+
+    def test_cache_capacity_forwarded(self, relation):
+        store = PliStore(cache_capacity=0)
+        index = store.index_for(relation)
+        assert index.cache.capacity == 0
+
+
+class TestCrossAlgorithmSharing:
+    """Acceptance: every algorithm and profiler obtains single-column PLIs
+    from the one shared store, producing cache hits on its PliCache."""
+
+    def test_every_algorithm_hits_the_shared_cache(self, relation):
+        store = PliStore()
+        runs = {
+            "spider": lambda: spider_on_relation(relation, store=store),
+            "ducc": lambda: ducc_on_relation(
+                relation, rng=random.Random(0), store=store
+            ),
+            "fun": lambda: fun_on_relation(relation, store=store),
+            "tane": lambda: tane_on_relation(relation, store=store),
+            "hca": lambda: hca_on_relation(relation, store=store),
+            "gordian": lambda: gordian_on_relation(relation, store=store),
+            "muds": lambda: Muds(store=store).profile(relation),
+            "hfun": lambda: HolisticFun(store=store).profile(relation),
+            "baseline": lambda: SequentialBaseline(store=store).profile(relation),
+            "fds_first": lambda: FdsFirstProfiler(store=store).profile(relation),
+            "adaptive": lambda: AdaptiveProfiler(store=store).profile(relation),
+            "statistics": lambda: profile_statistics(relation, store=store),
+        }
+        cache = store.index_for(relation).cache
+        for name, run in runs.items():
+            hits_before = cache.hits
+            run()
+            assert cache.hits > hits_before, (
+                f"{name} did not read from the shared PliCache"
+            )
+        # One build serves every algorithm; nobody re-indexed the relation.
+        assert store.builds == 1
+        assert store.reuses >= len(runs)
+
+    def test_shared_store_changes_no_results(self, relation):
+        shared = PliStore()
+        alone = tane_on_relation(relation)
+        together = tane_on_relation(relation, store=shared)
+        assert alone.fds == together.fds
+        assert alone.minimal_keys == together.minimal_keys
+        fun_alone = fun_on_relation(relation)
+        fun_together = fun_on_relation(relation, store=shared)
+        assert fun_alone.fds == fun_together.fds
+        assert fun_alone.minimal_uccs == fun_together.minimal_uccs

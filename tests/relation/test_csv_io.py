@@ -95,3 +95,46 @@ class TestWrite:
         buffer.seek(0)
         back = read_csv(buffer, name="roundtrip")
         assert list(back.iter_rows()) == list(rel.iter_rows())
+
+
+class _CountingLines:
+    """Line iterator that records how many lines were pulled from it."""
+
+    def __init__(self, lines):
+        self._iterator = iter(lines)
+        self.consumed = 0
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        line = next(self._iterator)
+        self.consumed += 1
+        return line
+
+
+class TestStreaming:
+    """read_csv must decode incrementally, not materialize the raw rows."""
+
+    def test_stops_at_ragged_line_without_reading_the_rest(self):
+        lines = ["a,b\n", "1,2\n", "3\n"] + ["4,5\n"] * 500
+        source = _CountingLines(lines)
+        with pytest.raises(SchemaError, match="line 3"):
+            read_csv(source, name="broken")
+        assert source.consumed <= 5, (
+            "a ragged line early in the file must abort the read before "
+            f"the whole input is pulled (consumed {source.consumed} lines)"
+        )
+
+    def test_streamed_read_matches_eager_semantics(self):
+        text = "a,b\nx,\n,y\nx,y\n"
+        rel = read_csv(io.StringIO(text), name="t")
+        assert rel.column_names == ("a", "b")
+        assert rel.column("a") == ("x", None, "x")
+        assert rel.column("b") == (None, "y", "y")
+
+    def test_streamed_no_header_decodes_first_line(self):
+        rel = read_csv(io.StringIO("1,\n2,3\n"), has_header=False)
+        assert rel.column_names == ("column_0", "column_1")
+        assert rel.column("column_0") == ("1", "2")
+        assert rel.column("column_1") == (None, "3")
