@@ -25,6 +25,7 @@ from .core.holistic_fun import HolisticFun
 from .core.muds import Muds
 from .core.profiler import choose_algorithm, profile
 from .core.statistics import ColumnStatistics, profile_statistics
+from .guard import Budget, BudgetExceeded, guarded
 from .metadata import FD, IND, UCC, ProfilingResult
 from .relation import ColumnSet, Relation, read_csv, read_csv_text, write_csv
 
@@ -32,6 +33,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdaptiveProfiler",
+    "Budget",
+    "BudgetExceeded",
     "ColumnSet",
     "ColumnStatistics",
     "FD",
@@ -43,6 +46,7 @@ __all__ = [
     "SequentialBaseline",
     "UCC",
     "choose_algorithm",
+    "guarded",
     "profile",
     "profile_statistics",
     "read_csv",

@@ -21,6 +21,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from ..guard import BudgetExceeded
 from ..lattice.search import LatticeSearch
 from ..pli.index import RelationIndex
 from ..pli.store import PliStore
@@ -52,13 +53,30 @@ def ducc(index: RelationIndex, rng: random.Random | None = None) -> DuccResult:
     handles that gracefully (the full column set tests non-unique and the
     duality loop converges on an empty UCC set), but holistic callers are
     expected to deduplicate first (§3).
+
+    Under an exhausted execution budget the raised
+    :class:`~repro.guard.BudgetExceeded` carries a partial
+    :class:`DuccResult`: every UCC listed tested unique, but minimality
+    and completeness are not guaranteed for a truncated walk.
     """
     search = LatticeSearch(
         universe=full_mask(index.n_columns),
         predicate=index.is_unique,
         rng=rng or random.Random(0),
     )
-    minimal, maximal_non = search.run()
+    try:
+        minimal, maximal_non = search.run()
+    except BudgetExceeded as error:
+        positives, negatives = (
+            error.partial if isinstance(error.partial, tuple) else ([], [])
+        )
+        error.partial = DuccResult(
+            minimal_uccs=positives,
+            maximal_non_uccs=negatives,
+            checks=search.evaluations,
+            hole_rounds=search.hole_rounds,
+        )
+        raise
     return DuccResult(
         minimal_uccs=minimal,
         maximal_non_uccs=maximal_non,

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..guard import BudgetExceeded, checkpoint
 from ..lattice.lattice import apriori_gen
 from ..pli.index import RelationIndex
 from ..pli.pli import PLI
@@ -73,45 +74,61 @@ def fun(index: RelationIndex) -> FunResult:
     # lattice starts at level 1).
     closures_prev: dict[int, int] = {}
 
-    while level:
-        free_sets += len(level)
-        closures_cur: dict[int, int] = {}
-        keys: set[int] = set()
-        for mask, pli in level.items():
-            determined = 0
-            for rhs in iter_bits(universe & ~mask):
-                fd_checks += 1
-                if pli.refines(vectors[rhs]):
-                    determined |= bit(rhs)
-            closures_cur[mask] = determined
-            inherited = 0
-            for sub in direct_subsets(mask):
-                if sub:
-                    inherited |= closures_prev.get(sub, 0)
-            for rhs in iter_bits(determined & ~inherited):
-                fds.append((mask, rhs))
-            if cards[mask] == n_rows:
-                # Unique free set == minimal UCC (Lemma 3); key pruning.
-                uccs.append(mask)
-                keys.add(mask)
+    try:
+        while level:
+            free_sets += len(level)
+            closures_cur: dict[int, int] = {}
+            keys: set[int] = set()
+            for mask, pli in level.items():
+                checkpoint()
+                determined = 0
+                for rhs in iter_bits(universe & ~mask):
+                    fd_checks += 1
+                    if pli.refines(vectors[rhs]):
+                        determined |= bit(rhs)
+                closures_cur[mask] = determined
+                inherited = 0
+                for sub in direct_subsets(mask):
+                    if sub:
+                        inherited |= closures_prev.get(sub, 0)
+                for rhs in iter_bits(determined & ~inherited):
+                    fds.append((mask, rhs))
+                if cards[mask] == n_rows:
+                    # Unique free set == minimal UCC (Lemma 3); key pruning.
+                    uccs.append(mask)
+                    keys.add(mask)
 
-        survivors = [mask for mask in level if mask not in keys]
-        next_level: dict[int, PLI] = {}
-        next_cards: dict[int, int] = {}
-        for candidate in apriori_gen(survivors):
-            high = 1 << (candidate.bit_length() - 1)
-            parent = candidate ^ high
-            pli = level[parent].intersect(index.column_pli(high.bit_length() - 1))
-            intersections += 1
-            card = pli.distinct_count
-            # Free iff strictly more distinct combinations than every
-            # direct subset (Definition 1).
-            if all(cards[sub] < card for sub in direct_subsets(candidate)):
-                next_level[candidate] = pli
-                next_cards[candidate] = card
-        closures_prev = closures_cur
-        level = next_level
-        cards = next_cards
+            survivors = [mask for mask in level if mask not in keys]
+            next_level: dict[int, PLI] = {}
+            next_cards: dict[int, int] = {}
+            for candidate in apriori_gen(survivors):
+                checkpoint()
+                high = 1 << (candidate.bit_length() - 1)
+                parent = candidate ^ high
+                pli = level[parent].intersect(
+                    index.column_pli(high.bit_length() - 1)
+                )
+                intersections += 1
+                card = pli.distinct_count
+                # Free iff strictly more distinct combinations than every
+                # direct subset (Definition 1).
+                if all(cards[sub] < card for sub in direct_subsets(candidate)):
+                    next_level[candidate] = pli
+                    next_cards[candidate] = card
+            closures_prev = closures_cur
+            level = next_level
+            cards = next_cards
+    except BudgetExceeded as error:
+        # FDs/UCCs emitted before the budget ran out are sound (minimal
+        # per the levels completed); attach them for graceful degradation.
+        error.partial = FunResult(
+            fds=sorted(fds),
+            minimal_uccs=sorted(uccs),
+            fd_checks=fd_checks,
+            intersections=intersections,
+            free_sets=free_sets,
+        )
+        raise
 
     fds.sort()
     uccs.sort()

@@ -18,6 +18,7 @@ from __future__ import annotations
 import heapq
 from collections.abc import Sequence
 
+from ..guard import checkpoint
 from ..pli.index import RelationIndex
 from ..pli.store import PliStore
 from ..relation.relation import Relation
@@ -42,6 +43,10 @@ def _merge_candidates(sorted_values: list[list[str]]) -> list[int]:
     ]
     heapq.heapify(heap)
     while heap:
+        # Cooperative guard point per merge step; SPIDER attaches no
+        # partial output (candidate sets only converge from above, so a
+        # truncated merge would over-report INDs).
+        checkpoint()
         smallest = heap[0][0]
         group = 0
         members: list[int] = []

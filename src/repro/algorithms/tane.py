@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..guard import BudgetExceeded, checkpoint
 from ..lattice.lattice import apriori_gen
 from ..pli.index import RelationIndex
 from ..pli.pli import PLI
@@ -67,64 +68,82 @@ def tane(index: RelationIndex, include_empty_lhs: bool = False) -> TaneResult:
         cards[mask] = plis[mask].distinct_count
         level.append(mask)
 
-    while level:
-        visited += len(level)
-        # -- compute dependencies ------------------------------------------
-        for node in level:
-            candidates = universe
-            for column in iter_bits(node):
-                candidates &= cplus[node ^ bit(column)]
-            cplus[node] = candidates
-            for rhs in iter_bits(node & candidates):
-                lhs = node ^ bit(rhs)
-                if lhs == 0 and not include_empty_lhs:
+    try:
+        while level:
+            visited += len(level)
+            # -- compute dependencies --------------------------------------
+            for node in level:
+                checkpoint()
+                candidates = universe
+                for column in iter_bits(node):
+                    candidates &= cplus[node ^ bit(column)]
+                cplus[node] = candidates
+                for rhs in iter_bits(node & candidates):
+                    lhs = node ^ bit(rhs)
+                    if lhs == 0 and not include_empty_lhs:
+                        continue
+                    fd_checks += 1
+                    if cards[lhs] == cards[node]:
+                        fds.append((lhs, rhs))
+                        cplus[node] &= ~bit(rhs)
+                        cplus[node] &= node  # drop every B ∈ R∖X
+
+            # -- prune -------------------------------------------------------
+            survivors: list[int] = []
+            for node in level:
+                checkpoint()
+                if cplus[node] == 0:
                     continue
-                fd_checks += 1
-                if cards[lhs] == cards[node]:
-                    fds.append((lhs, rhs))
-                    cplus[node] &= ~bit(rhs)
-                    cplus[node] &= node  # drop every B ∈ R∖X
+                if cards[node] == n_rows:
+                    # Key: emit its remaining minimal FDs, then prune.  The
+                    # published condition intersects C+ over sibling nodes
+                    # ``X ∪ {A} ∖ {B}``, but siblings pruned away in earlier
+                    # levels leave that intersection undefined; we evaluate
+                    # the property it encodes — no direct subset determines
+                    # the rhs — directly against the data instead.
+                    keys.append(node)
+                    for rhs in iter_bits(cplus[node] & ~node):
+                        minimal = True
+                        for column in iter_bits(node):
+                            lhs = node ^ bit(column)
+                            if lhs == 0 and not include_empty_lhs:
+                                continue
+                            fd_checks += 1
+                            if index.check_fd(lhs, rhs):
+                                minimal = False
+                                break
+                        if minimal:
+                            fds.append((node, rhs))
+                    continue
+                survivors.append(node)
 
-        # -- prune -----------------------------------------------------------
-        survivors: list[int] = []
-        for node in level:
-            if cplus[node] == 0:
-                continue
-            if cards[node] == n_rows:
-                # Key: emit its remaining minimal FDs, then prune.  The
-                # published condition intersects C+ over sibling nodes
-                # ``X ∪ {A} ∖ {B}``, but siblings pruned away in earlier
-                # levels leave that intersection undefined; we evaluate the
-                # property it encodes — no direct subset determines the
-                # rhs — directly against the data instead.
-                keys.append(node)
-                for rhs in iter_bits(cplus[node] & ~node):
-                    minimal = True
-                    for column in iter_bits(node):
-                        lhs = node ^ bit(column)
-                        if lhs == 0 and not include_empty_lhs:
-                            continue
-                        fd_checks += 1
-                        if index.check_fd(lhs, rhs):
-                            minimal = False
-                            break
-                    if minimal:
-                        fds.append((node, rhs))
-                continue
-            survivors.append(node)
-
-        # -- generate next level ----------------------------------------------
-        next_level = apriori_gen(survivors)
-        next_plis: dict[int, PLI] = {}
-        for candidate in next_level:
-            high = 1 << (candidate.bit_length() - 1)
-            parent = candidate ^ high
-            pli = plis[parent].intersect(index.column_pli(high.bit_length() - 1))
-            intersections += 1
-            next_plis[candidate] = pli
-            cards[candidate] = pli.distinct_count
-        plis = next_plis
-        level = next_level
+            # -- generate next level -----------------------------------------
+            next_level = apriori_gen(survivors)
+            next_plis: dict[int, PLI] = {}
+            for candidate in next_level:
+                checkpoint()
+                high = 1 << (candidate.bit_length() - 1)
+                parent = candidate ^ high
+                pli = plis[parent].intersect(
+                    index.column_pli(high.bit_length() - 1)
+                )
+                intersections += 1
+                next_plis[candidate] = pli
+                cards[candidate] = pli.distinct_count
+            plis = next_plis
+            level = next_level
+    except BudgetExceeded as error:
+        # Graceful degradation: everything emitted before the budget ran
+        # out is sound (minimal FDs/keys of the levels completed), so hand
+        # it to the harness as the execution's partial output.
+        error.partial = TaneResult(
+            fds=sorted(fds),
+            minimal_keys=sorted(keys),
+            fd_checks=fd_checks,
+            intersections=intersections,
+            visited_nodes=visited,
+        )
+        raise
 
     fds.sort()
     keys.sort()

@@ -16,6 +16,8 @@ from collections.abc import Sequence
 
 from .core.profiler import ALGORITHMS, profile
 from .core.statistics import profile_statistics
+from .guard import Budget, BudgetExceeded, guarded
+from .metadata.results import ProfilingResult
 from .metadata.serialize import dumps
 from .relation.csv_io import read_csv
 from .relation.relation import Relation
@@ -68,6 +70,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="also print per-column statistics",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget; on expiry print the partial results "
+        "discovered so far and exit with code 3 (TL)",
+    )
+    parser.add_argument(
+        "--max-intersections",
+        type=int,
+        default=None,
+        metavar="N",
+        help="PLI-intersection work budget; exceeded counts as TL",
+    )
+    parser.add_argument(
+        "--max-cluster-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="estimated PLI cluster-memory budget; exceeded counts as ML",
     )
     parser.add_argument(
         "--json",
@@ -126,12 +150,41 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
-    result = profile(
-        relation,
-        algorithm=args.algorithm,
-        seed=args.seed,
-        verify_completeness=not args.as_published,
-    )
+    budget = None
+    if (
+        args.deadline is not None
+        or args.max_intersections is not None
+        or args.max_cluster_bytes is not None
+    ):
+        budget = Budget(
+            deadline_seconds=args.deadline,
+            max_intersections=args.max_intersections,
+            max_cluster_bytes=args.max_cluster_bytes,
+        )
+
+    exit_code = 0
+    try:
+        with guarded(budget):
+            result = profile(
+                relation,
+                algorithm=args.algorithm,
+                seed=args.seed,
+                verify_completeness=not args.as_published,
+            )
+    except BudgetExceeded as error:
+        # Graceful degradation (Metanome's TL/ML cells): report whatever
+        # the interrupted algorithm had discovered, but exit non-zero so
+        # scripts can tell a partial profile from a complete one.
+        marker = "ML" if error.reason == "memory" else "TL"
+        result = error.partial_result or ProfilingResult.from_masks(
+            relation_name=relation.name, column_names=relation.column_names
+        )
+        print(
+            f"warning [{marker}]: budget exhausted ({error}); "
+            "results below are partial",
+            file=sys.stderr,
+        )
+        exit_code = 3
 
     stats_lines: list[str] = []
     if args.stats:
@@ -155,7 +208,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(line)
     else:
         _print_text_report(result, stats_lines)
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -17,9 +17,10 @@ from __future__ import annotations
 import random
 import time
 
-from ..algorithms.ducc import ducc
-from ..algorithms.fun import fun
+from ..algorithms.ducc import DuccResult, ducc
+from ..algorithms.fun import FunResult, fun
 from ..algorithms.spider import spider
+from ..guard import BudgetExceeded
 from ..metadata.results import ProfilingResult
 from ..pli.store import PliStore
 from ..relation.relation import Relation
@@ -37,35 +38,68 @@ class SequentialBaseline:
         self.store = store or PliStore()
 
     def profile(self, relation: Relation) -> ProfilingResult:
-        """Profile a relation with three independent algorithm executions."""
+        """Profile a relation with three independent algorithm executions.
+
+        When the execution budget runs out, the raised
+        :class:`~repro.guard.BudgetExceeded` carries ``partial_result``
+        with the output of every task that finished (plus the interrupted
+        task's own partial output) — the per-task equivalent of
+        Metanome's graceful degradation.
+        """
         timings: dict[str, float] = {}
         counters: dict[str, int] = {}
 
         index = self.store.index_for(relation)
         fun_intersections_before = index.intersections
 
-        started = time.perf_counter()
-        inds = spider(index)
-        timings["spider"] = time.perf_counter() - started
+        inds: list[tuple[int, int]] = []
+        ucc_masks: list[int] = []
+        fd_pairs: list[tuple[int, int]] = []
+        try:
+            started = time.perf_counter()
+            inds = spider(index)
+            timings["spider"] = time.perf_counter() - started
 
-        started = time.perf_counter()
-        ducc_result = ducc(index, rng=random.Random(self.seed))
-        timings["ducc"] = time.perf_counter() - started
-        counters["ucc_checks"] = ducc_result.checks
-        ducc_intersections = index.intersections - fun_intersections_before
+            started = time.perf_counter()
+            ducc_result = ducc(index, rng=random.Random(self.seed))
+            timings["ducc"] = time.perf_counter() - started
+            counters["ucc_checks"] = ducc_result.checks
+            ucc_masks = ducc_result.minimal_uccs
+            ducc_intersections = index.intersections - fun_intersections_before
 
-        started = time.perf_counter()
-        fun_result = fun(index)
-        timings["fun"] = time.perf_counter() - started
-        counters["fd_checks"] = fun_result.fd_checks
-        counters["pli_intersections"] = ducc_intersections + fun_result.intersections
+            started = time.perf_counter()
+            fun_result = fun(index)
+            timings["fun"] = time.perf_counter() - started
+            fd_pairs = fun_result.fds
+            counters["fd_checks"] = fun_result.fd_checks
+            counters["pli_intersections"] = (
+                ducc_intersections + fun_result.intersections
+            )
+        except BudgetExceeded as error:
+            if error.partial_result is None:
+                if isinstance(error.partial, DuccResult) and not ucc_masks:
+                    ucc_masks = error.partial.minimal_uccs
+                elif isinstance(error.partial, FunResult):
+                    fd_pairs = error.partial.fds
+                    if not ucc_masks:
+                        ucc_masks = error.partial.minimal_uccs
+                error.partial_result = ProfilingResult.from_masks(
+                    relation_name=relation.name,
+                    column_names=relation.column_names,
+                    ind_pairs=inds,
+                    ucc_masks=ucc_masks,
+                    fd_pairs=fd_pairs,
+                    phase_seconds=timings,
+                    counters=counters,
+                )
+            raise
 
         return ProfilingResult.from_masks(
             relation_name=relation.name,
             column_names=relation.column_names,
             ind_pairs=inds,
-            ucc_masks=ducc_result.minimal_uccs,
-            fd_pairs=fun_result.fds,
+            ucc_masks=ucc_masks,
+            fd_pairs=fd_pairs,
             phase_seconds=timings,
             counters=counters,
         )

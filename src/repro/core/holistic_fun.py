@@ -14,8 +14,9 @@ from __future__ import annotations
 
 import time
 
-from ..algorithms.fun import fun
+from ..algorithms.fun import FunResult, fun
 from ..algorithms.spider import spider
+from ..guard import BudgetExceeded
 from ..metadata.results import ProfilingResult
 from ..pli.store import PliStore
 from ..relation.relation import Relation
@@ -31,30 +32,55 @@ class HolisticFun:
 
     def profile(self, relation: Relation) -> ProfilingResult:
         """Profile a relation: shared read/PLI pass, SPIDER, then FUN with
-        UCC collection."""
+        UCC collection.
+
+        When the execution budget runs out, the raised
+        :class:`~repro.guard.BudgetExceeded` carries ``partial_result``
+        with the output of every completed phase plus whatever FUN had
+        discovered mid-lattice.
+        """
         started = time.perf_counter()
         index = self.store.index_for(relation)
         read_seconds = time.perf_counter() - started
+        phase_seconds = {"read_and_pli": read_seconds}
+        inds: list[tuple[int, int]] = []
 
-        started = time.perf_counter()
-        inds = spider(index)
-        spider_seconds = time.perf_counter() - started
+        try:
+            started = time.perf_counter()
+            inds = spider(index)
+            phase_seconds["spider"] = time.perf_counter() - started
 
-        started = time.perf_counter()
-        fun_result = fun(index)
-        fun_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            fun_result = fun(index)
+            phase_seconds["fun"] = time.perf_counter() - started
+        except BudgetExceeded as error:
+            if error.partial_result is None:
+                partial = (
+                    error.partial
+                    if isinstance(error.partial, FunResult)
+                    else FunResult([], [], 0, 0, 0)
+                )
+                error.partial_result = self._to_result(
+                    relation, inds, partial, phase_seconds
+                )
+            raise
 
+        return self._to_result(relation, inds, fun_result, phase_seconds)
+
+    @staticmethod
+    def _to_result(
+        relation: Relation,
+        inds: list[tuple[int, int]],
+        fun_result: FunResult,
+        phase_seconds: dict[str, float],
+    ) -> ProfilingResult:
         return ProfilingResult.from_masks(
             relation_name=relation.name,
             column_names=relation.column_names,
             ind_pairs=inds,
             ucc_masks=fun_result.minimal_uccs,
             fd_pairs=fun_result.fds,
-            phase_seconds={
-                "read_and_pli": read_seconds,
-                "spider": spider_seconds,
-                "fun": fun_seconds,
-            },
+            phase_seconds=phase_seconds,
             counters={
                 "fd_checks": fun_result.fd_checks,
                 "pli_intersections": fun_result.intersections,

@@ -30,8 +30,9 @@ import random
 import time
 from dataclasses import dataclass, field
 
-from ..algorithms.ducc import ducc
+from ..algorithms.ducc import DuccResult, ducc
 from ..algorithms.spider import spider
+from ..guard import BudgetExceeded
 from ..lattice.prefix_tree import PrefixTree
 from ..lattice.search import LatticeSearch
 from ..metadata.results import ProfilingResult
@@ -102,12 +103,36 @@ class Muds:
     # -- public API -----------------------------------------------------------
 
     def profile(self, relation: Relation) -> ProfilingResult:
-        """Profile a relation end to end, including the shared input pass."""
+        """Profile a relation end to end, including the shared input pass.
+
+        When the execution budget runs out, the raised
+        :class:`~repro.guard.BudgetExceeded` carries ``partial_result`` —
+        the :class:`ProfilingResult` of everything discovered so far — for
+        the harness to record as a graceful-degradation cell.
+        """
         started = time.perf_counter()
         index = self.store.index_for(relation)
         read_seconds = time.perf_counter() - started
-        report = self.run(index)
+        try:
+            report = self.run(index)
+        except BudgetExceeded as error:
+            if error.partial_result is None:
+                report = (
+                    error.partial
+                    if isinstance(error.partial, MudsReport)
+                    else MudsReport()
+                )
+                report.phase_seconds = {
+                    "read_and_pli": read_seconds,
+                    **report.phase_seconds,
+                }
+                error.partial_result = self._to_result(relation, report)
+            raise
         report.phase_seconds = {"read_and_pli": read_seconds, **report.phase_seconds}
+        return self._to_result(relation, report)
+
+    @staticmethod
+    def _to_result(relation: Relation, report: MudsReport) -> ProfilingResult:
         return ProfilingResult.from_masks(
             relation_name=relation.name,
             column_names=relation.column_names,
@@ -124,81 +149,117 @@ class Muds:
 
     def run(self, index: RelationIndex) -> MudsReport:
         """Run all phases on a prebuilt shared index; returns mask-level
-        output plus per-phase wall-clock times (Fig. 8)."""
+        output plus per-phase wall-clock times (Fig. 8).
+
+        Under an exhausted execution budget the raised
+        :class:`~repro.guard.BudgetExceeded` carries the partially filled
+        :class:`MudsReport` as ``partial``: every phase that completed
+        contributes its full output, the interrupted phase whatever it had
+        verified (e.g. the UCCs a truncated DUCC walk confirmed).
+        """
         rng = random.Random(self.seed)
         report = MudsReport()
         timer = _PhaseTimer(report.phase_seconds)
         # Delta accounting: the index may be shared with earlier runs.
         fd_checks_before = index.fd_checks
         intersections_before = index.intersections
+        fds: dict[int, int] = {}
+        cache: CheckCache | None = None
 
-        # Phase 1: SPIDER on the shared duplicate-free value lists.
-        with timer("spider"):
-            report.inds = spider(index)
+        try:
+            # Phase 1: SPIDER on the shared duplicate-free value lists.
+            with timer("spider"):
+                report.inds = spider(index)
 
-        # Phase 2: DUCC on the shared PLIs.
-        with timer("ducc"):
-            ducc_result = ducc(index, rng=rng)
-        report.minimal_uccs = ducc_result.minimal_uccs
-        report.counters["ucc_checks"] = ducc_result.checks
+            # Phase 2: DUCC on the shared PLIs.
+            with timer("ducc"):
+                ducc_result = ducc(index, rng=rng)
+            report.minimal_uccs = ducc_result.minimal_uccs
+            report.counters["ucc_checks"] = ducc_result.checks
 
-        z_mask = 0
-        for ucc in report.minimal_uccs:
-            z_mask |= ucc
-        ucc_tree = PrefixTree(report.minimal_uccs)
-        cache = CheckCache(index)
+            z_mask = 0
+            for ucc in report.minimal_uccs:
+                z_mask |= ucc
+            ucc_tree = PrefixTree(report.minimal_uccs)
+            cache = CheckCache(index)
 
-        # Phase 3a: FDs in connected minimal UCCs (Algorithm 1).
-        with timer("minimize_fds"):
-            fds = minimize_fds_from_uccs(cache, ucc_tree, report.minimal_uccs, z_mask)
+            # Phase 3a: FDs in connected minimal UCCs (Algorithm 1).
+            with timer("minimize_fds"):
+                fds = minimize_fds_from_uccs(
+                    cache, ucc_tree, report.minimal_uccs, z_mask
+                )
 
-        # Phase 3b: sub-lattice walks for rhs ∈ R∖Z.
-        with timer("calculate_r_minus_z"):
-            rz_fds, rz_stats = discover_r_minus_z(
-                index,
-                report.minimal_uccs,
-                z_mask,
-                rng,
-                use_ucc_pruning=self.use_ucc_pruning,
-            )
-        for lhs, rhs_mask in rz_fds.items():
-            fds[lhs] = fds.get(lhs, 0) | rhs_mask
-        report.counters["sublattices"] = rz_stats.sublattices
-        report.counters["sublattice_checks"] = rz_stats.fd_checks
+            # Phase 3b: sub-lattice walks for rhs ∈ R∖Z.
+            with timer("calculate_r_minus_z"):
+                rz_fds, rz_stats = discover_r_minus_z(
+                    index,
+                    report.minimal_uccs,
+                    z_mask,
+                    rng,
+                    use_ucc_pruning=self.use_ucc_pruning,
+                )
+            for lhs, rhs_mask in rz_fds.items():
+                fds[lhs] = fds.get(lhs, 0) | rhs_mask
+            report.counters["sublattices"] = rz_stats.sublattices
+            report.counters["sublattice_checks"] = rz_stats.fd_checks
 
-        # Phase 3c: shadowed FDs (Algorithms 2–4).
-        tasks_total = 0
-        for _ in range(self.shadowed_passes):
-            with timer("generate_shadowed_tasks"):
-                tasks = generate_shadowed_tasks(cache, ucc_tree, fds)
-            tasks_total += len(tasks)
-            with timer("minimize_shadowed_tasks"):
-                minimize_shadowed_tasks(cache, tasks, fds)
-            if not tasks:
-                break
-        report.counters["shadowed_tasks"] = tasks_total
+            # Phase 3c: shadowed FDs (Algorithms 2–4).
+            tasks_total = 0
+            for _ in range(self.shadowed_passes):
+                with timer("generate_shadowed_tasks"):
+                    tasks = generate_shadowed_tasks(cache, ucc_tree, fds)
+                tasks_total += len(tasks)
+                with timer("minimize_shadowed_tasks"):
+                    minimize_shadowed_tasks(cache, tasks, fds)
+                if not tasks:
+                    break
+            report.counters["shadowed_tasks"] = tasks_total
 
-        # Published phases can emit a valid-but-not-minimal FD when the
-        # connector lookup never offered the smaller lhs for checking;
-        # re-minimizing every discovered FD top-down (the Algorithm 4
-        # machinery over the shared check cache, so already-performed
-        # checks are free) guarantees all output FDs are minimal.
-        with timer("final_minimization"):
-            minimized: dict[int, int] = {}
-            minimize_shadowed_tasks(cache, list(fds.items()), minimized)
-            fds = minimized
+            # Published phases can emit a valid-but-not-minimal FD when the
+            # connector lookup never offered the smaller lhs for checking;
+            # re-minimizing every discovered FD top-down (the Algorithm 4
+            # machinery over the shared check cache, so already-performed
+            # checks are free) guarantees all output FDs are minimal.
+            with timer("final_minimization"):
+                minimized: dict[int, int] = {}
+                minimize_shadowed_tasks(cache, list(fds.items()), minimized)
+                fds = minimized
 
-        if self.verify_completeness:
-            with timer("completion_walk"):
-                self._complete_z_rhs(index, cache, ucc_tree, report, fds, z_mask, rng)
+            if self.verify_completeness:
+                with timer("completion_walk"):
+                    self._complete_z_rhs(
+                        index, cache, ucc_tree, report, fds, z_mask, rng
+                    )
+        except BudgetExceeded as error:
+            if not report.minimal_uccs and isinstance(error.partial, DuccResult):
+                # Budget ran out mid-DUCC: its confirmed positives are
+                # genuine (if possibly non-minimal) UCCs — keep them.
+                report.minimal_uccs = error.partial.minimal_uccs
+                report.counters["ucc_checks"] = error.partial.checks
+            report.fds = fds
+            self._account(report, index, fd_checks_before, intersections_before, cache)
+            error.partial = report
+            raise
 
         report.fds = fds
+        self._account(report, index, fd_checks_before, intersections_before, cache)
+        return report
+
+    @staticmethod
+    def _account(
+        report: MudsReport,
+        index: RelationIndex,
+        fd_checks_before: int,
+        intersections_before: int,
+        cache: CheckCache | None,
+    ) -> None:
+        """Fill the substrate counter deltas of one (possibly truncated) run."""
         report.counters["fd_checks"] = index.fd_checks - fd_checks_before
         report.counters["pli_intersections"] = (
             index.intersections - intersections_before
         )
-        report.counters["check_cache_hits"] = cache.memo_hits
-        return report
+        if cache is not None:
+            report.counters["check_cache_hits"] = cache.memo_hits
 
     # -- internals ---------------------------------------------------------------
 

@@ -1,19 +1,41 @@
 """Metanome-like execution framework, experiment runner, and reporting."""
 
-from .framework import Execution, Framework, Profiler, default_framework
+from .budget import Budget, BudgetExceeded, checkpoint, guarded
+from .faults import FAULTS, FaultInjected, fault_suite_enabled
+from .framework import (
+    STATUS_MARKERS,
+    Execution,
+    Framework,
+    MetadataDisagreement,
+    Profiler,
+    default_framework,
+    verify_agreement,
+)
 from .profile_report import render_profile_report
 from .reporting import ascii_table, markdown_table, series_block
-from .runner import ExperimentRunner, SweepPoint
+from .runner import ExperimentRunner, SweepJournal, SweepPoint, sweep_table
 
 __all__ = [
+    "Budget",
+    "BudgetExceeded",
     "Execution",
     "ExperimentRunner",
+    "FAULTS",
+    "FaultInjected",
     "Framework",
+    "MetadataDisagreement",
     "Profiler",
+    "STATUS_MARKERS",
+    "SweepJournal",
     "SweepPoint",
     "ascii_table",
+    "checkpoint",
     "default_framework",
+    "fault_suite_enabled",
+    "guarded",
     "markdown_table",
     "render_profile_report",
     "series_block",
+    "sweep_table",
+    "verify_agreement",
 ]

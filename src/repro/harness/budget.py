@@ -1,0 +1,31 @@
+"""Harness face of the execution-guard layer (see :mod:`repro.guard`).
+
+The guard machinery lives in the import-order-neutral :mod:`repro.guard`
+so the PLI kernel and the algorithms can hook into it without importing
+the harness; this module re-exports the public names where harness users
+look for them::
+
+    from repro.harness.budget import Budget
+
+    framework.run("muds", relation, budget=Budget(deadline_seconds=30))
+"""
+
+from __future__ import annotations
+
+from ..guard import (
+    ESTIMATED_BYTES_PER_CLUSTERED_ROW,
+    Budget,
+    BudgetExceeded,
+    active_budget,
+    checkpoint,
+    guarded,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "ESTIMATED_BYTES_PER_CLUSTERED_ROW",
+    "active_budget",
+    "checkpoint",
+    "guarded",
+]

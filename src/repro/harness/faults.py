@@ -1,0 +1,40 @@
+"""Harness face of the fault-injection registry (see :mod:`repro.faults`).
+
+The registry itself lives in the import-order-neutral :mod:`repro.faults`
+so the CSV reader and the PLI cache can trip fault points without
+importing the harness; this module re-exports the public names and adds
+the environment gate used by CI: the dedicated fault-injection test suite
+runs only when ``REPRO_FAULTS=1`` (a second CI step), keeping the tier-1
+job lean while the failure paths still get exercised on every push.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..faults import (
+    CACHE_PUT,
+    CSV_READ,
+    FAULT_POINTS,
+    FAULTS,
+    PROFILER_STEP,
+    FaultInjected,
+    FaultRegistry,
+)
+
+__all__ = [
+    "CACHE_PUT",
+    "CSV_READ",
+    "FAULT_POINTS",
+    "FAULTS",
+    "PROFILER_STEP",
+    "FaultInjected",
+    "FaultRegistry",
+    "fault_suite_enabled",
+]
+
+
+def fault_suite_enabled() -> bool:
+    """True when the dedicated fault-injection suite should run
+    (``REPRO_FAULTS=1`` in the environment)."""
+    return os.environ.get("REPRO_FAULTS") == "1"

@@ -11,22 +11,46 @@ Each execution additionally snapshots the PLI kernel counters
 (:data:`repro.pli.pli.KERNEL_STATS`) around the run, so reports can show
 per-algorithm substrate activity — intersections performed, probe vectors
 built vs. reused — next to the phase timings (Fig. 8-style breakdowns).
+
+Failure is part of the contract (the reason the paper needs Metanome at
+all): :meth:`Framework.run` accepts a :class:`~repro.guard.Budget` and
+*contains* whatever goes wrong inside the profiler.  A budgeted run that
+hits its wall-clock/work limit is recorded with ``status="timeout"``, a
+memory-limited one with ``status="memory"`` — both keep the partial
+results the algorithm attached while unwinding — and a crash is recorded
+with ``status="error"``.  Reports render these as Metanome's TL/ML/ERR
+cells (:attr:`Execution.marker`).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import Any, Callable, Iterable, Mapping, Protocol
 
 from ..core.baseline import SequentialBaseline
 from ..core.holistic_fun import HolisticFun
 from ..core.muds import Muds
-from ..metadata.results import ProfilingResult
+from ..guard import Budget, BudgetExceeded, guarded
+from ..metadata.results import ProfilingResult, fd_signature, ucc_signature
+from ..metadata.serialize import result_from_dict, result_to_dict
 from ..pli.pli import KERNEL_STATS
 from ..relation.relation import Relation
 
-__all__ = ["Profiler", "Execution", "Framework", "default_framework"]
+__all__ = [
+    "Profiler",
+    "Execution",
+    "Framework",
+    "MetadataDisagreement",
+    "STATUS_MARKERS",
+    "default_framework",
+    "verify_agreement",
+]
+
+#: Report markers per execution status — Metanome's table-cell notation:
+#: TL = time limit (deadline or work budget), ML = memory limit,
+#: ERR = crash.  ``"ok"`` renders as no marker.
+STATUS_MARKERS = {"ok": "", "timeout": "TL", "memory": "ML", "error": "ERR"}
 
 
 class Profiler(Protocol):
@@ -37,7 +61,14 @@ class Profiler(Protocol):
 
 @dataclass(slots=True)
 class Execution:
-    """One algorithm execution with its measurements."""
+    """One algorithm execution with its measurements.
+
+    ``status`` is ``"ok"`` for a completed run, ``"timeout"``/``"memory"``
+    for a budgeted run stopped by its :class:`~repro.guard.Budget` (the
+    ``result`` then holds the partial metadata discovered before the stop)
+    and ``"error"`` for a contained crash (empty ``result``); ``error``
+    carries the human-readable cause for every non-ok status.
+    """
 
     algorithm: str
     dataset: str
@@ -49,15 +80,163 @@ class Execution:
     fd_only: bool = False
     #: PLI kernel activity during this execution (counter deltas).
     kernel: dict[str, int] = field(default_factory=dict)
+    #: Outcome: ``ok`` | ``timeout`` | ``memory`` | ``error``.
+    status: str = "ok"
+    #: Failure cause for non-ok statuses (``None`` when ok).
+    error: str | None = None
 
     @property
     def counts(self) -> tuple[int, int, int]:
         """(#INDs, #UCCs, #FDs) of this execution."""
         return len(self.result.inds), len(self.result.uccs), len(self.result.fds)
 
+    @property
+    def ok(self) -> bool:
+        """True iff the execution completed within its budget."""
+        return self.status == "ok"
+
+    @property
+    def marker(self) -> str:
+        """Report marker: ``""`` (ok), ``TL``, ``ML``, or ``ERR``."""
+        return STATUS_MARKERS.get(self.status, "ERR")
+
+    # -- journal (de)serialization ----------------------------------------
+
+    def to_record(self) -> dict[str, Any]:
+        """JSON-ready form for the sweep journal (lossless round-trip)."""
+        return {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "n_columns": self.n_columns,
+            "n_rows": self.n_rows,
+            "seconds": self.seconds,
+            "fd_only": self.fd_only,
+            "kernel": dict(self.kernel),
+            "status": self.status,
+            "error": self.error,
+            "result": result_to_dict(self.result),
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "Execution":
+        """Rebuild an execution from its journal record."""
+        return cls(
+            algorithm=record["algorithm"],
+            dataset=record["dataset"],
+            n_columns=record["n_columns"],
+            n_rows=record["n_rows"],
+            seconds=record["seconds"],
+            result=result_from_dict(record["result"]),
+            fd_only=record.get("fd_only", False),
+            kernel=dict(record.get("kernel", {})),
+            status=record.get("status", "ok"),
+            error=record.get("error"),
+        )
+
+
+class MetadataDisagreement(AssertionError):
+    """Two executions disagree on the discovered metadata.
+
+    The message lists the symmetric difference of their FD/UCC/IND sets
+    (capped per direction) so a failing cross-validation run shows *what*
+    diverged, not just that something did.  Subclasses
+    :class:`AssertionError` for compatibility with callers that treated
+    the agreement check as an assertion.
+    """
+
+    #: Max entries listed per direction before eliding with "... and N more".
+    MAX_LISTED = 12
+
+    def __init__(self, reference: Execution, other: Execution, fds_only: bool):
+        self.reference = reference
+        self.other = other
+        lines = [
+            f"{reference.algorithm} and {other.algorithm} disagree "
+            f"on {reference.dataset}:"
+        ]
+        lines += self._diff_lines(
+            "FDs",
+            {self._fd_str(s) for s in fd_signature(reference.result.fds)},
+            {self._fd_str(s) for s in fd_signature(other.result.fds)},
+            reference.algorithm,
+            other.algorithm,
+        )
+        if not fds_only:
+            lines += self._diff_lines(
+                "UCCs",
+                {"{" + ", ".join(sorted(s)) + "}"
+                 for s in ucc_signature(reference.result.uccs)},
+                {"{" + ", ".join(sorted(s)) + "}"
+                 for s in ucc_signature(other.result.uccs)},
+                reference.algorithm,
+                other.algorithm,
+            )
+            lines += self._diff_lines(
+                "INDs",
+                {str(ind) for ind in reference.result.inds},
+                {str(ind) for ind in other.result.inds},
+                reference.algorithm,
+                other.algorithm,
+            )
+        super().__init__("\n".join(lines))
+
+    @staticmethod
+    def _fd_str(signature: tuple[frozenset[str], str]) -> str:
+        lhs, rhs = signature
+        return "{" + ", ".join(sorted(lhs)) + "} -> " + rhs
+
+    @classmethod
+    def _diff_lines(
+        cls,
+        kind: str,
+        reference: set[str],
+        other: set[str],
+        reference_name: str,
+        other_name: str,
+    ) -> list[str]:
+        lines = []
+        for label, extra in (
+            (reference_name, sorted(reference - other)),
+            (other_name, sorted(other - reference)),
+        ):
+            if not extra:
+                continue
+            shown = "; ".join(extra[: cls.MAX_LISTED])
+            if len(extra) > cls.MAX_LISTED:
+                shown += f"; ... and {len(extra) - cls.MAX_LISTED} more"
+            lines.append(f"  {kind} only in {label} ({len(extra)}): {shown}")
+        return lines
+
+
+def verify_agreement(executions: Iterable[Execution]) -> None:
+    """Check that all *completed* executions agree on the metadata.
+
+    Non-ok executions (TL/ML/ERR cells) are skipped — a partial result
+    legitimately differs.  FD-only executions are compared on FDs alone.
+    Raises :class:`MetadataDisagreement` on the first mismatch.
+    """
+    completed = [e for e in executions if e.ok]
+    full = [e for e in completed if not e.fd_only]
+    reference = full[0] if full else (completed[0] if completed else None)
+    if reference is None:
+        return
+    for execution in completed:
+        if execution is reference:
+            continue
+        fds_only = execution.fd_only or not full
+        if fds_only:
+            agree = fd_signature(reference.result.fds) == fd_signature(
+                execution.result.fds
+            )
+        else:
+            agree = reference.result.same_metadata(execution.result)
+        if not agree:
+            raise MetadataDisagreement(reference, execution, fds_only)
+
 
 class Framework:
-    """Algorithm registry plus a uniform, timed execution path."""
+    """Algorithm registry plus a uniform, timed, failure-containing
+    execution path."""
 
     def __init__(self) -> None:
         self._profilers: dict[str, Callable[[], Profiler]] = {}
@@ -81,8 +260,22 @@ class Framework:
         """Registered algorithm names."""
         return tuple(self._profilers)
 
-    def run(self, name: str, relation: Relation) -> Execution:
-        """Execute one registered algorithm on one relation."""
+    def run(
+        self, name: str, relation: Relation, budget: Budget | None = None
+    ) -> Execution:
+        """Execute one registered algorithm on one relation.
+
+        With a ``budget``, the profiler runs under the cooperative guard
+        (:func:`repro.guard.guarded`): blowing the deadline / work budget
+        yields ``status="timeout"``, the memory estimate ``"memory"`` —
+        both keep the partial results the algorithm attached on the way
+        out.  Profiler crashes (any :class:`Exception`, including injected
+        faults) are contained as ``status="error"`` with an empty result;
+        a raw :class:`MemoryError` is classified as ``"memory"``.  The
+        framework itself never raises for an algorithm failure — that is
+        the point: one exploding contender must not take the comparison
+        run down (Metanome's TL/ML/ERR cells).
+        """
         try:
             factory = self._profilers[name]
         except KeyError:
@@ -90,9 +283,29 @@ class Framework:
                 f"unknown algorithm {name!r}; registered: {self.algorithms}"
             ) from None
         profiler = factory()
+        status, error_message = "ok", None
         kernel_before = KERNEL_STATS.snapshot()
         started = time.perf_counter()
-        result = profiler.profile(relation)
+        try:
+            with guarded(budget):
+                result = profiler.profile(relation)
+        except BudgetExceeded as error:
+            status = error.reason
+            error_message = str(error)
+            partial = error.partial_result
+            result = (
+                partial
+                if isinstance(partial, ProfilingResult)
+                else _empty_result(relation)
+            )
+        except MemoryError:
+            status = "memory"
+            error_message = "MemoryError"
+            result = _empty_result(relation)
+        except Exception as error:  # crash containment, by design
+            status = "error"
+            error_message = f"{type(error).__name__}: {error}"
+            result = _empty_result(relation)
         seconds = time.perf_counter() - started
         kernel_after = KERNEL_STATS.snapshot()
         execution = Execution(
@@ -107,6 +320,8 @@ class Framework:
                 counter: kernel_after[counter] - kernel_before[counter]
                 for counter in kernel_after
             },
+            status=status,
+            error=error_message,
         )
         self.executions.append(execution)
         return execution
@@ -116,32 +331,37 @@ class Framework:
         relation: Relation,
         names: tuple[str, ...] | None = None,
         check_agreement: bool = True,
+        budget: Budget | Mapping[str, Budget] | None = None,
     ) -> list[Execution]:
         """Execute several (default: all) registered algorithms on one
-        relation; with ``check_agreement`` (default) verify they agree on
-        the discovered metadata (FDs only for ``fd_only`` algorithms)."""
-        from ..metadata.results import fd_signature
-
-        executions = [self.run(name, relation) for name in (names or self.algorithms)]
-        if not check_agreement:
-            return executions
-        full = [e for e in executions if e.algorithm not in self._fd_only]
-        reference = full[0] if full else executions[0]
-        for execution in executions:
-            if execution is reference:
-                continue
-            if execution.algorithm in self._fd_only or not full:
-                agree = fd_signature(reference.result.fds) == fd_signature(
-                    execution.result.fds
-                )
-            else:
-                agree = reference.result.same_metadata(execution.result)
-            if not agree:
-                raise AssertionError(
-                    f"{reference.algorithm} and {execution.algorithm} "
-                    f"disagree on {relation.name}"
-                )
+        relation; with ``check_agreement`` (default) verify the completed
+        executions agree on the discovered metadata (FDs only for
+        ``fd_only`` algorithms).  ``budget`` is one shared
+        :class:`~repro.guard.Budget` or a per-algorithm mapping (missing
+        names run unbudgeted)."""
+        executions = [
+            self.run(name, relation, budget=resolve_budget(budget, name))
+            for name in (names or self.algorithms)
+        ]
+        if check_agreement:
+            verify_agreement(executions)
         return executions
+
+
+def resolve_budget(
+    budget: Budget | Mapping[str, Budget] | None, algorithm: str
+) -> Budget | None:
+    """Resolve a shared-or-per-algorithm budget spec for one algorithm."""
+    if budget is None or isinstance(budget, Budget):
+        return budget
+    return budget.get(algorithm)
+
+
+def _empty_result(relation: Relation) -> ProfilingResult:
+    """The empty result recorded for executions that produced nothing."""
+    return ProfilingResult.from_masks(
+        relation_name=relation.name, column_names=relation.column_names
+    )
 
 
 def default_framework(seed: int = 0, faithful_muds: bool = True) -> Framework:
@@ -151,7 +371,7 @@ def default_framework(seed: int = 0, faithful_muds: bool = True) -> Framework:
     (``verify_completeness=False``) used for benchmark comparisons; pass
     ``False`` to benchmark the exactness-certifying default instead.
     """
-    from ..algorithms.tane import tane
+    from ..algorithms.tane import TaneResult, tane
     from ..pli.store import PliStore
 
     class _TaneProfiler:
@@ -162,7 +382,20 @@ def default_framework(seed: int = 0, faithful_muds: bool = True) -> Framework:
 
         def profile(self, relation: Relation) -> ProfilingResult:
             index = self.store.index_for(relation)
-            result = tane(index)
+            try:
+                result = tane(index)
+            except BudgetExceeded as error:
+                if error.partial_result is None and isinstance(
+                    error.partial, TaneResult
+                ):
+                    error.partial_result = self._to_result(
+                        relation, error.partial
+                    )
+                raise
+            return self._to_result(relation, result)
+
+        @staticmethod
+        def _to_result(relation: Relation, result: "TaneResult") -> ProfilingResult:
             return ProfilingResult.from_masks(
                 relation_name=relation.name,
                 column_names=relation.column_names,

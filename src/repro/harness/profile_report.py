@@ -12,6 +12,7 @@ from ..core.statistics import profile_statistics
 from ..metadata.results import ProfilingResult
 from ..pli.index import RelationIndex
 from ..relation.relation import Relation
+from .framework import Execution
 from .reporting import markdown_table
 
 __all__ = ["render_profile_report"]
@@ -22,11 +23,15 @@ def render_profile_report(
     result: ProfilingResult,
     index: RelationIndex | None = None,
     max_listed: int = 25,
+    execution: Execution | None = None,
 ) -> str:
     """Render a Markdown profile of ``relation`` from ``result``.
 
     ``max_listed`` caps each dependency listing (with an explicit
-    "... and N more" line, never a silent cut).
+    "... and N more" line, never a silent cut).  Passing the
+    ``execution`` the result came from adds a warning banner when the run
+    did not complete (TL/ML/ERR) so partial listings are never mistaken
+    for exhaustive ones.
     """
     lines: list[str] = [
         f"# Data profile: {relation.name}",
@@ -34,6 +39,16 @@ def render_profile_report(
         f"{relation.n_columns} columns x {relation.n_rows} rows; "
         f"profiled in {result.total_seconds:.3f}s.",
         "",
+    ]
+    if execution is not None and not execution.ok:
+        lines += [
+            f"> **Incomplete run [{execution.marker}]** "
+            f"({execution.status}): {execution.error}",
+            "> Dependency listings below are partial — metadata discovered "
+            "before the run was stopped.",
+            "",
+        ]
+    lines += [
         "## Column statistics",
         "",
     ]

@@ -5,50 +5,158 @@ workload for each point of a parameter sweep (rows for Fig. 6, columns for
 Fig. 7, one dataset per Table 3 row), run a set of algorithms on it, and
 collect runtimes and result counts.  :class:`ExperimentRunner` factors that
 loop out of the individual benchmarks.
+
+Long sweeps must survive failure: each algorithm runs inside the
+framework's crash containment (a blown budget or crash becomes a TL/ML/ERR
+cell rather than aborting the sweep), a workload builder that itself dies
+yields a point-level error entry, and with a :class:`SweepJournal` every
+finished point is appended to a JSONL file as soon as it completes — a
+killed sweep re-run with the same journal resumes, re-executing only the
+points that have no record yet.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
-from typing import Callable
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping
 
+from ..guard import Budget
 from ..relation.relation import Relation
-from .framework import Execution, Framework
+from .framework import (
+    Execution,
+    Framework,
+    MetadataDisagreement,
+    resolve_budget,
+    verify_agreement,
+)
+from .reporting import ascii_table
 
-__all__ = ["SweepPoint", "ExperimentRunner"]
+__all__ = ["SweepPoint", "SweepJournal", "ExperimentRunner", "sweep_table"]
 
 
 @dataclass(slots=True)
 class SweepPoint:
-    """One sweep point: a label (x value) and its executions."""
+    """One sweep point: a label (x value) and its executions.
+
+    ``error`` is set when the point itself failed outside any single
+    algorithm execution — the workload builder crashed, or the completed
+    executions disagreed on the metadata.
+    """
 
     label: object
     executions: list[Execution] = field(default_factory=list)
+    #: Point-level failure (workload crash / metadata disagreement), if any.
+    error: str | None = None
 
     def seconds(self, algorithm: str) -> float:
         """Runtime of one algorithm at this point."""
         for execution in self.executions:
             if execution.algorithm == algorithm:
                 return execution.seconds
-        raise KeyError(f"no execution of {algorithm!r} at point {self.label!r}")
+        executed = [execution.algorithm for execution in self.executions]
+        raise KeyError(
+            f"no execution of {algorithm!r} at point {self.label!r}; "
+            f"executed algorithms: {executed or 'none'}"
+        )
 
     def counts(self) -> tuple[int, int, int]:
-        """(#INDs, #UCCs, #FDs) from the first full profiler at this point.
+        """(#INDs, #UCCs, #FDs) from the first *completed* full profiler.
 
         Only full (non-``fd_only``) profilers report all three metadata
         types; an FD-only execution (TANE) must never supply the counts —
         it would mis-report ``(0, 0, #FDs)`` even when the dataset has
-        INDs and UCCs.  Raises :class:`ValueError` when the point holds no
+        INDs and UCCs.  Truncated executions (TL/ML/ERR) are skipped for
+        the same reason: their partial results undercount.  Raises
+        :class:`ValueError` when the point holds no completed
         full-profiler execution at all.
         """
         for execution in self.executions:
-            if not execution.fd_only:
+            if not execution.fd_only and execution.ok:
                 return execution.counts
         executed = [execution.algorithm for execution in self.executions]
         raise ValueError(
-            f"no full-profiler execution at point {self.label!r}; "
+            f"no completed full-profiler execution at point {self.label!r}; "
             f"executed algorithms: {executed or 'none'}"
         )
+
+    def cell(self, algorithm: str) -> str:
+        """Report cell for one algorithm: seconds, or the TL/ML/ERR marker
+        of a non-completed execution (Metanome's result-table notation)."""
+        for execution in self.executions:
+            if execution.algorithm == algorithm:
+                return f"{execution.seconds:.3f}" if execution.ok else execution.marker
+        return "-"
+
+    # -- journal (de)serialization ----------------------------------------
+
+    def to_record(self) -> dict[str, Any]:
+        """JSON-ready form for the sweep journal."""
+        return {
+            "label": self.label,
+            "error": self.error,
+            "executions": [execution.to_record() for execution in self.executions],
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "SweepPoint":
+        """Rebuild a sweep point from its journal record."""
+        return cls(
+            label=record["label"],
+            executions=[
+                Execution.from_record(entry) for entry in record["executions"]
+            ],
+            error=record.get("error"),
+        )
+
+
+def _label_key(label: object) -> str:
+    """Canonical journal key of a point label (stable across processes)."""
+    return json.dumps(label, sort_keys=True, default=str)
+
+
+class SweepJournal:
+    """Append-only JSONL checkpoint file for crash-safe sweeps.
+
+    Every completed :class:`SweepPoint` is appended (and flushed to disk)
+    the moment it finishes, so a killed sweep loses at most the point it
+    was working on.  On load, a truncated trailing line — the signature of
+    a crash mid-write — is tolerated and simply treated as absent.
+    """
+
+    def __init__(self, path: str | os.PathLike[str]):
+        self.path = Path(path)
+
+    def load(self) -> dict[str, SweepPoint]:
+        """All finished points keyed by canonical label; ``{}`` if the
+        journal does not exist yet."""
+        points: dict[str, SweepPoint] = {}
+        if not self.path.exists():
+            return points
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    point = SweepPoint.from_record(record)
+                except (ValueError, KeyError, TypeError):
+                    # Torn write from a crash mid-append: skip the line and
+                    # let the sweep re-run that point.
+                    continue
+                points[_label_key(point.label)] = point
+        return points
+
+    def append(self, point: SweepPoint) -> None:
+        """Durably record one finished point."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(point.to_record(), default=str) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
 
 
 class ExperimentRunner:
@@ -63,22 +171,82 @@ class ExperimentRunner:
         points: list[object],
         workload: Callable[[object], Relation],
         check_agreement: bool = True,
+        budget: Budget | Mapping[str, Budget] | None = None,
+        journal: SweepJournal | None = None,
+        resume: bool = True,
     ) -> list[SweepPoint]:
-        """Execute all algorithms at every sweep point.
+        """Execute all algorithms at every sweep point, crash-safely.
 
         ``workload`` maps a point label (row count, column count, dataset
         name, ...) to the relation profiled at that point.
+
+        Each algorithm runs in isolation: budget exhaustion and crashes
+        are contained by :meth:`Framework.run` as TL/ML/ERR executions,
+        and a metadata disagreement among the completed executions is
+        recorded in ``point.error`` instead of aborting the sweep.  Only a
+        crashing ``workload`` builder leaves a point without executions
+        (also recorded, not raised).
+
+        ``budget`` is one shared :class:`~repro.guard.Budget` or a
+        per-algorithm mapping.  With a ``journal``, every finished point
+        is checkpointed to JSONL immediately; when ``resume`` (default)
+        and the journal already holds a point's record, the point is
+        restored from disk instead of re-executed.
         """
+        finished = journal.load() if journal is not None and resume else {}
         results: list[SweepPoint] = []
         for label in points:
-            relation = workload(label)
-            executions = self.framework.run_all(
-                relation, names=self.algorithms, check_agreement=check_agreement
-            )
-            results.append(SweepPoint(label=label, executions=executions))
+            restored = finished.get(_label_key(label))
+            if restored is not None:
+                results.append(restored)
+                continue
+            point = SweepPoint(label=label)
+            try:
+                relation = workload(label)
+            except Exception as error:  # record, don't abort the sweep
+                point.error = f"workload failed: {type(error).__name__}: {error}"
+            else:
+                for name in self.algorithms:
+                    point.executions.append(
+                        self.framework.run(
+                            name, relation, budget=resolve_budget(budget, name)
+                        )
+                    )
+                if check_agreement:
+                    try:
+                        verify_agreement(point.executions)
+                    except MetadataDisagreement as error:
+                        point.error = str(error)
+            if journal is not None:
+                journal.append(point)
+            results.append(point)
         return results
 
     @staticmethod
     def series(points: list[SweepPoint], algorithm: str) -> list[tuple[object, float]]:
         """Extract one algorithm's (x, seconds) series from a sweep."""
         return [(point.label, point.seconds(algorithm)) for point in points]
+
+
+def sweep_table(
+    points: Iterable[SweepPoint], algorithms: Iterable[str] | None = None
+) -> str:
+    """ASCII runtime table of a sweep, one row per point, one column per
+    algorithm; non-completed executions render as their TL/ML/ERR marker
+    and point-level failures as an ``error`` flag (Metanome-style cells)."""
+    points = list(points)
+    if algorithms is None:
+        names: list[str] = []
+        for point in points:
+            for execution in point.executions:
+                if execution.algorithm not in names:
+                    names.append(execution.algorithm)
+        algorithms = names
+    algorithms = list(algorithms)
+    rows = []
+    for point in points:
+        row = [str(point.label)]
+        row += [point.cell(name) for name in algorithms]
+        row.append("error" if point.error else "")
+        rows.append(row)
+    return ascii_table(["point", *algorithms, "status"], rows)

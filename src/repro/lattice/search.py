@@ -31,6 +31,7 @@ from __future__ import annotations
 import random
 from collections.abc import Callable, Iterable
 
+from ..guard import BudgetExceeded, checkpoint
 from ..relation.columnset import direct_subsets, direct_supersets
 from .hitting_set import minimal_hitting_sets
 from .prefix_tree import PrefixTree
@@ -125,6 +126,7 @@ class LatticeSearch:
     def _walk(self, start: int) -> None:
         path = [start]
         while path:
+            checkpoint()
             current = path[-1]
             if self._classify(current):
                 neighbors = [s for s in direct_subsets(current) if s != 0]
@@ -144,25 +146,46 @@ class LatticeSearch:
         antichain of everything observed or derived, which is what callers
         use for downstream pruning (it equals the true maximal-negative
         border whenever the walk had to chart the whole negative region).
+
+        When the active execution budget runs out mid-walk, the raised
+        :class:`~repro.guard.BudgetExceeded` carries ``partial`` — the
+        ``(known_positives, known_negatives)`` antichains charted so far
+        (sound but possibly non-minimal/non-maximal) — unless an inner
+        layer already attached its own partial payload.
         """
         if self.universe == 0:
             return [], []
-        seeds = [1 << i for i in range(self.universe.bit_length()) if self.universe >> i & 1]
-        self.rng.shuffle(seeds)
-        for seed in seeds:
-            if self._lookup(seed) is None:
-                self._walk(seed)
-        while True:
-            negatives = list(self._neg) or [0]
-            candidates = minimal_hitting_sets(
-                (self.universe & ~negative for negative in negatives), self.universe
-            )
-            unresolved = [c for c in candidates if not self._confirmed_minimal(c)]
-            if not unresolved:
-                return sorted(candidates), sorted(negatives) if negatives != [0] else []
-            self.hole_rounds += 1
-            for candidate in unresolved:
-                self._walk(candidate)
+        try:
+            seeds = [
+                1 << i
+                for i in range(self.universe.bit_length())
+                if self.universe >> i & 1
+            ]
+            self.rng.shuffle(seeds)
+            for seed in seeds:
+                if self._lookup(seed) is None:
+                    self._walk(seed)
+            while True:
+                negatives = list(self._neg) or [0]
+                candidates = minimal_hitting_sets(
+                    (self.universe & ~negative for negative in negatives),
+                    self.universe,
+                )
+                unresolved = [
+                    c for c in candidates if not self._confirmed_minimal(c)
+                ]
+                if not unresolved:
+                    return (
+                        sorted(candidates),
+                        sorted(negatives) if negatives != [0] else [],
+                    )
+                self.hole_rounds += 1
+                for candidate in unresolved:
+                    self._walk(candidate)
+        except BudgetExceeded as error:
+            if error.partial is None:
+                error.partial = (sorted(self._pos), sorted(self._neg))
+            raise
 
     def _confirmed_minimal(self, mask: int) -> bool:
         """True iff ``mask`` is known positive with all direct subsets known

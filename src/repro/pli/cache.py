@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from ..faults import CACHE_PUT, FAULTS
 from ..relation.columnset import size
 from .pli import PLI
 
@@ -74,6 +75,8 @@ class PliCache:
         discarded without being inserted — callers still get memoization
         for the pinned single-column generators, nothing else.
         """
+        if FAULTS.armed:
+            FAULTS.trip(CACHE_PUT)
         if size(mask) <= 1:
             self._pinned[mask] = pli
             self.insertions += 1

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from ..guard import checkpoint
 from ..relation.columnset import bit, iter_bits, lowest_bit
 from ..relation.relation import Relation
 from .cache import PliCache
@@ -112,6 +113,10 @@ class RelationIndex:
         """
         if mask == 0:
             raise ValueError("the empty column combination has no PLI")
+        # Cooperative guard point: every index-driven algorithm (DUCC, the
+        # MUDS phases, HCA, ...) funnels through here, so deadlines fire
+        # even in loops that never call checkpoint() themselves.
+        checkpoint()
         cached = self.cache.get(mask)
         if cached is not None:
             return cached
@@ -133,6 +138,7 @@ class RelationIndex:
     def is_unique(self, mask: int) -> bool:
         """UCC check: does the projection on ``mask`` contain duplicates?"""
         self.uniqueness_checks += 1
+        checkpoint()
         if mask == 0:
             return self.n_rows <= 1
         return self.pli(mask).is_unique
@@ -143,6 +149,7 @@ class RelationIndex:
         An empty left-hand side holds only for constant columns.
         """
         self.fd_checks += 1
+        checkpoint()
         rhs_vector = self._vectors[rhs_index]
         if lhs_mask == 0:
             return len(set(rhs_vector)) <= 1
@@ -158,6 +165,7 @@ class RelationIndex:
         MUDS' minimization cheap).
         """
         valid = 0
+        checkpoint()
         if lhs_mask == 0:
             for rhs in iter_bits(candidates_mask):
                 if len(set(self._vectors[rhs])) <= 1:

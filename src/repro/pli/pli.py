@@ -39,6 +39,8 @@ from __future__ import annotations
 from collections.abc import Sequence
 from typing import Any
 
+from .. import guard as _guard
+
 __all__ = [
     "PLI",
     "KernelStats",
@@ -203,6 +205,11 @@ class PLI:
         i.e. by the pair ``(cluster_a, cluster_b)``; groups of size ≥ 2
         survive.  No probe table is rebuilt per call and the result enters
         the trusted constructor already canonical.
+
+        When an execution guard is active (:mod:`repro.guard`) the call
+        charges the budget with the clustered rows it materialized and may
+        raise :class:`~repro.guard.BudgetExceeded`; intersections are the
+        unit of work every budget meters.
         """
         if self.n_rows != other.n_rows:
             raise ValueError(
@@ -245,6 +252,9 @@ class PLI:
         # Rows within a group ascend (cluster order); clusters are disjoint,
         # so ordering by first element is full canonical order.
         result.sort()
+        budget = _guard.ACTIVE
+        if budget is not None:
+            budget.charge_intersection(sum(map(len, result)))
         return PLI._from_canonical(tuple(result), self.n_rows)
 
     def refines(self, vector: Sequence[int]) -> bool:

@@ -18,6 +18,7 @@ from collections.abc import Iterable
 from pathlib import Path
 from typing import TextIO
 
+from ..faults import CSV_READ, FAULTS
 from .relation import Relation, SchemaError
 
 __all__ = ["read_csv", "write_csv", "read_csv_text"]
@@ -51,7 +52,10 @@ def read_csv(
     """
     if isinstance(source, (str, Path)):
         path = Path(source)
-        with path.open(newline="", encoding="utf-8") as handle:
+        # utf-8-sig: a UTF-8 BOM (as written by Excel and many Windows
+        # exports) is consumed instead of being glued onto the first
+        # column name; BOM-less files decode identically.
+        with path.open(newline="", encoding="utf-8-sig") as handle:
             return read_csv(
                 handle,
                 delimiter=delimiter,
@@ -79,6 +83,8 @@ def read_csv(
 
     width = len(header)
     for line_no, row in enumerate(reader, start=start):
+        if FAULTS.armed:
+            FAULTS.trip(CSV_READ)  # deterministic I/O-failure injection
         if len(row) != width:
             raise SchemaError(
                 f"line {line_no}: expected {width} fields, found {len(row)}"

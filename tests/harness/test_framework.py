@@ -78,6 +78,46 @@ class TestDefaultFramework:
         with pytest.raises(AssertionError):
             framework.run_all(toy)
 
+    def test_disagreement_message_lists_symmetric_difference(self, toy):
+        from repro.harness import MetadataDisagreement
+
+        framework = Framework()
+        framework.register("hfun", HolisticFun)
+
+        class Liar:
+            def profile(self, relation):
+                from repro.metadata import ProfilingResult
+
+                # Drops everything real, invents a bogus UCC on C.
+                return ProfilingResult.from_masks(
+                    relation.name, relation.column_names, ucc_masks=[0b100]
+                )
+
+        framework.register("liar", lambda: Liar())
+        with pytest.raises(MetadataDisagreement) as excinfo:
+            framework.run_all(toy)
+        message = str(excinfo.value)
+        assert "hfun and liar disagree on toy" in message
+        assert "FDs only in hfun" in message
+        assert "UCCs only in hfun" in message
+        assert "UCCs only in liar" in message and "{C}" in message
+        assert "INDs only in hfun" in message
+
+    def test_agreement_skips_non_ok_executions(self, toy):
+        # A TL/ML/ERR execution legitimately holds partial metadata; the
+        # agreement check must not flag it as a disagreement.
+        from repro.harness import Budget
+
+        framework = Framework()
+        framework.register("hfun", HolisticFun)
+        framework.register("hfun2", HolisticFun)
+        executions = framework.run_all(
+            toy,
+            budget={"hfun2": Budget(deadline_seconds=0.0, checkpoint_stride=1)},
+        )
+        assert executions[0].status == "ok"
+        assert executions[1].status == "timeout"
+
     def test_check_agreement_can_be_disabled(self, toy):
         framework = Framework()
         framework.register("hfun", HolisticFun)

@@ -35,9 +35,9 @@ class TestSweep:
         assert [x for x, __ in series] == [4, 8]
         assert all(y >= 0 for __, y in series)
 
-    def test_seconds_unknown_algorithm(self, runner):
+    def test_seconds_unknown_algorithm_lists_executed(self, runner):
         points = runner.sweep([4], workload)
-        with pytest.raises(KeyError):
+        with pytest.raises(KeyError, match=r"executed algorithms.*hfun"):
             points[0].seconds("tane")
 
     def test_counts(self, runner):
@@ -68,7 +68,9 @@ class TestCountsSelection:
         framework.register("tane", _tane_profiler, fd_only=True)
         runner = ExperimentRunner(framework)
         points = runner.sweep([4], workload)
-        with pytest.raises(ValueError, match=r"no full-profiler execution"):
+        with pytest.raises(
+            ValueError, match=r"no completed full-profiler execution"
+        ):
             points[0].counts()
 
     def test_empty_point_raises_value_error_not_index_error(self):

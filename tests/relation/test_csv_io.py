@@ -57,6 +57,16 @@ class TestRead:
         assert rel.name == "data"
         assert rel.n_rows == 1
 
+    def test_utf8_bom_stripped_from_header(self, tmp_path):
+        # Excel exports prepend a UTF-8 BOM; it must not leak into the
+        # first column name (a "﻿a" column silently breaks every
+        # by-name lookup downstream).
+        path = tmp_path / "excel.csv"
+        path.write_bytes(b"\xef\xbb\xbfa,b\n1,2\n")
+        rel = read_csv(path)
+        assert rel.column_names == ("a", "b")
+        assert rel.column("a") == ("1",)
+
 
 class TestWrite:
     def test_roundtrip(self, tmp_path):

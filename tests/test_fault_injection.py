@@ -1,0 +1,139 @@
+"""Fault-injection campaign (opt-in: set ``REPRO_FAULTS=1``).
+
+Arms every registered fault point against full end-to-end profiling runs
+and asserts the harness contract each time: the failure is recorded (ERR
+cell or point-level error), the sweep keeps running, and once the fault is
+disarmed a re-run produces metadata identical to a never-faulted run.  CI
+executes this as a dedicated step; the default test run skips it because
+probabilistic campaigns repeat full profiling many times over.
+"""
+
+import random
+
+import pytest
+
+from repro.faults import (
+    CACHE_PUT,
+    CSV_READ,
+    FAULT_POINTS,
+    PROFILER_STEP,
+    FAULTS,
+)
+from repro.harness import (
+    ExperimentRunner,
+    SweepJournal,
+    default_framework,
+    fault_suite_enabled,
+)
+from repro.relation import Relation, read_csv
+
+pytestmark = pytest.mark.skipif(
+    not fault_suite_enabled(),
+    reason="fault-injection campaign is opt-in: set REPRO_FAULTS=1",
+)
+
+
+@pytest.fixture(autouse=True)
+def _disarm_after_each_test():
+    yield
+    FAULTS.disarm()
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    rng = random.Random(5)
+    lines = ["a,b,c,d"]
+    lines += [
+        ",".join(str(rng.randrange(3)) for _ in range(4)) for _ in range(40)
+    ]
+    path = tmp_path / "campaign.csv"
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def reference_metadata(csv_path):
+    relation = read_csv(csv_path).deduplicated()
+    return default_framework().run("hfun", relation).result
+
+
+class TestEveryPointContained:
+    @pytest.mark.parametrize("point", FAULT_POINTS)
+    @pytest.mark.parametrize("at", [1, 3])
+    def test_sweep_survives_and_recovers(self, point, at, csv_path, tmp_path):
+        reference = reference_metadata(csv_path)
+        journal = SweepJournal(tmp_path / f"{point}.{at}.jsonl")
+        runner = ExperimentRunner(default_framework(), algorithms=("hfun", "muds"))
+
+        FAULTS.arm(point, at=at)
+        points = runner.sweep(
+            ["faulted", "clean"],
+            lambda label: read_csv(csv_path).deduplicated(),
+            journal=journal,
+        )
+        FAULTS.disarm()
+
+        assert [p.label for p in points] == ["faulted", "clean"]
+        if point == CSV_READ:
+            # Fires while the workload builder reads the input.
+            assert "injected fault" in points[0].error
+            assert points[0].executions == []
+        else:
+            # Fires inside the first algorithm: ERR cell, sweep continues.
+            assert points[0].error is None
+            statuses = [e.status for e in points[0].executions]
+            assert "error" in statuses
+        # The fault fired exactly once; the second point is untouched.
+        clean = points[1]
+        assert clean.error is None
+        assert all(e.status == "ok" for e in clean.executions)
+        assert clean.executions[0].result.same_metadata(reference)
+
+        # Resume after the campaign re-runs nothing and loses nothing.
+        resumed = runner.sweep(
+            ["faulted", "clean"],
+            lambda label: read_csv(csv_path).deduplicated(),
+            journal=journal,
+        )
+        assert resumed[1].executions[0].result.same_metadata(reference)
+
+
+class TestSeededCampaign:
+    def test_probabilistic_faults_never_propagate(self, csv_path):
+        reference = reference_metadata(csv_path)
+        framework = default_framework()
+        relation = read_csv(csv_path).deduplicated()
+        outcomes = []
+        for seed in range(8):
+            FAULTS.arm_seeded(PROFILER_STEP, probability=0.001, seed=seed)
+            execution = framework.run("muds", relation)
+            FAULTS.disarm()
+            outcomes.append(execution.status)
+            if execution.status == "ok":
+                assert execution.result.same_metadata(reference)
+            else:
+                assert execution.status == "error"
+                assert "injected fault" in execution.error
+        # Determinism: replaying one seed reproduces its outcome.
+        FAULTS.arm_seeded(PROFILER_STEP, probability=0.001, seed=0)
+        replay = framework.run("muds", relation)
+        FAULTS.disarm()
+        assert replay.status == outcomes[0]
+
+    def test_cache_fault_mid_campaign_recovers(self, csv_path):
+        reference = reference_metadata(csv_path)
+        framework = default_framework()
+        relation = read_csv(csv_path).deduplicated()
+        FAULTS.arm(CACHE_PUT, at=2)
+        faulted = framework.run("hfun", relation)
+        FAULTS.disarm()
+        assert faulted.status == "error"
+        recovered = framework.run("hfun", relation)
+        assert recovered.status == "ok"
+        assert recovered.result.same_metadata(reference)
+
+
+def test_campaign_gate_reflects_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS", "1")
+    assert fault_suite_enabled()
+    monkeypatch.delenv("REPRO_FAULTS")
+    assert not fault_suite_enabled()

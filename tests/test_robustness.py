@@ -101,7 +101,10 @@ class TestLoudFailures:
         assert main([str(path)]) == 2
         assert "error:" in capsys.readouterr().err
 
-    def test_framework_propagates_profiler_crash(self):
+    def test_framework_contains_profiler_crash(self):
+        # A crashing profiler must not take the comparison run down: the
+        # framework records it as an ERR execution with the cause, instead
+        # of propagating (Metanome's crash-containment contract).
         from repro.harness import Framework
 
         class Broken:
@@ -111,8 +114,11 @@ class TestLoudFailures:
         framework = Framework()
         framework.register("broken", lambda: Broken())
         rel = Relation.from_rows(["A"], [(1,)])
-        with pytest.raises(RuntimeError, match="injected failure"):
-            framework.run("broken", rel)
+        execution = framework.run("broken", rel)
+        assert execution.status == "error"
+        assert execution.marker == "ERR"
+        assert "injected failure" in execution.error
+        assert execution.counts == (0, 0, 0)
 
     def test_unknown_profile_algorithm(self):
         rel = Relation.from_rows(["A"], [(1,)])
