@@ -20,7 +20,7 @@ Quickstart::
 """
 
 from .core.adaptive import AdaptiveProfiler
-from .core.baseline import SequentialBaseline
+from .core.baseline import BaselineProfiler, SequentialBaseline
 from .core.holistic_fun import HolisticFun
 from .core.muds import Muds
 from .core.profiler import choose_algorithm, profile
@@ -33,6 +33,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdaptiveProfiler",
+    "BaselineProfiler",
     "Budget",
     "BudgetExceeded",
     "ColumnSet",

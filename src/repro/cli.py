@@ -6,19 +6,28 @@ Examples::
     python -m repro data.csv --algorithm muds --json result.json
     python -m repro --dataset bridges --stats
     python -m repro data.csv --delimiter ';' --no-header --max-rows 5000
+    python -m repro data.csv --algorithm baseline --jobs 3
+    python -m repro data.csv --no-result-cache
+
+Completed profiles are cached under a content address of the input
+(``Relation.fingerprint()``); re-profiling an identical file answers
+from ``benchmarks/results/cache/`` (override with ``--result-cache`` /
+``$REPRO_RESULT_CACHE_DIR``, disable with ``--no-result-cache``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
-from .core.profiler import ALGORITHMS, profile
+from .core.profiler import ALGORITHMS, choose_algorithm, profile
 from .core.statistics import profile_statistics
 from .guard import Budget, BudgetExceeded, guarded
+from .harness.result_cache import DEFAULT_CACHE_DIR, ResultCache
 from .metadata.results import ProfilingResult
-from .metadata.serialize import dumps
+from .metadata.serialize import dumps, result_from_dict, result_to_dict
 from .relation.csv_io import read_csv
 from .relation.relation import Relation
 
@@ -94,6 +103,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="estimated PLI cluster-memory budget; exceeded counts as ML",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the baseline algorithm's three "
+        "independent tasks (SPIDER, DUCC, FUN); the holistic algorithms "
+        "are single search processes and run with one",
+    )
+    parser.add_argument(
+        "--result-cache",
+        metavar="DIR",
+        default=None,
+        help="content-addressed result cache directory (default: "
+        f"$REPRO_RESULT_CACHE_DIR or {DEFAULT_CACHE_DIR}); "
+        "already-profiled inputs are answered from disk instead of "
+        "recomputed",
+    )
+    parser.add_argument(
+        "--no-result-cache",
+        action="store_true",
+        help="always recompute; neither read nor write the result cache",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         help="write the result as JSON (use '-' for stdout)",
@@ -141,9 +173,29 @@ def _print_text_report(result, stats_lines: list[str]) -> None:
         print(line)
 
 
+def _open_result_cache(args: argparse.Namespace, budget: Budget | None):
+    """Resolve the CLI's result cache (or ``None`` when disabled).
+
+    Budgeted runs bypass the cache: a TL/ML partial is a property of the
+    budget, not the input, and must never be served — or stored — as the
+    input's profile.
+    """
+    if args.no_result_cache or budget is not None:
+        return None
+    root = (
+        args.result_cache
+        or os.environ.get("REPRO_RESULT_CACHE_DIR")
+        or DEFAULT_CACHE_DIR
+    )
+    return ResultCache(root)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
     try:
         relation = _load(args)
     except (OSError, KeyError, ValueError) as error:
@@ -162,29 +214,69 @@ def main(argv: Sequence[str] | None = None) -> int:
             max_cluster_bytes=args.max_cluster_bytes,
         )
 
+    # Resolve "auto" up front so the cache is keyed by the algorithm that
+    # actually runs (the §6.5 heuristic depends only on the column count,
+    # which the fingerprint covers).
+    algorithm = args.algorithm
+    if algorithm == "auto":
+        algorithm = choose_algorithm(relation)
+    cache = _open_result_cache(args, budget)
+    cache_config = {"seed": args.seed, "as_published": args.as_published}
+
+    result = None
+    if cache is not None:
+        document = cache.get(relation.fingerprint(), algorithm, cache_config)
+        if document is not None:
+            try:
+                result = result_from_dict(document)
+            except ValueError:
+                result = None  # stale schema: recompute
+            else:
+                print(
+                    f"result cache hit for {algorithm} "
+                    f"(fingerprint {relation.fingerprint()[:12]}...)",
+                    file=sys.stderr,
+                )
+
     exit_code = 0
-    try:
-        with guarded(budget):
-            result = profile(
-                relation,
-                algorithm=args.algorithm,
-                seed=args.seed,
-                verify_completeness=not args.as_published,
+    if result is None:
+        try:
+            with guarded(budget):
+                result = profile(
+                    relation,
+                    algorithm=algorithm,
+                    seed=args.seed,
+                    verify_completeness=not args.as_published,
+                    jobs=args.jobs,
+                )
+            if cache is not None:
+                try:
+                    cache.put(
+                        relation.fingerprint(),
+                        algorithm,
+                        result_to_dict(result),
+                        cache_config,
+                    )
+                except OSError as error:
+                    print(
+                        f"warning: result cache write failed: {error}",
+                        file=sys.stderr,
+                    )
+        except BudgetExceeded as error:
+            # Graceful degradation (Metanome's TL/ML cells): report
+            # whatever the interrupted algorithm had discovered, but exit
+            # non-zero so scripts can tell a partial profile from a
+            # complete one.
+            marker = "ML" if error.reason == "memory" else "TL"
+            result = error.partial_result or ProfilingResult.from_masks(
+                relation_name=relation.name, column_names=relation.column_names
             )
-    except BudgetExceeded as error:
-        # Graceful degradation (Metanome's TL/ML cells): report whatever
-        # the interrupted algorithm had discovered, but exit non-zero so
-        # scripts can tell a partial profile from a complete one.
-        marker = "ML" if error.reason == "memory" else "TL"
-        result = error.partial_result or ProfilingResult.from_masks(
-            relation_name=relation.name, column_names=relation.column_names
-        )
-        print(
-            f"warning [{marker}]: budget exhausted ({error}); "
-            "results below are partial",
-            file=sys.stderr,
-        )
-        exit_code = 3
+            print(
+                f"warning [{marker}]: budget exhausted ({error}); "
+                "results below are partial",
+                file=sys.stderr,
+            )
+            exit_code = 3
 
     stats_lines: list[str] = []
     if args.stats:

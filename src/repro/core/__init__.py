@@ -1,7 +1,7 @@
 """Holistic profiling algorithms: MUDS, Holistic FUN, sequential baseline."""
 
 from .adaptive import AdaptiveProfiler, prefer_muds
-from .baseline import SequentialBaseline
+from .baseline import BaselineProfiler, SequentialBaseline
 from .check_cache import CheckCache
 from .fds_first import FdsFirstProfiler, candidate_keys_from_fds, closure_of
 from .holistic_fun import HolisticFun
@@ -16,6 +16,7 @@ from .sublattice import SublatticeStats, discover_r_minus_z
 __all__ = [
     "ALGORITHMS",
     "AdaptiveProfiler",
+    "BaselineProfiler",
     "ColumnStatistics",
     "CheckCache",
     "FdsFirstProfiler",

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from ..metadata.results import ProfilingResult
 from ..relation.relation import Relation
-from .baseline import SequentialBaseline
+from .baseline import BaselineProfiler
 from .holistic_fun import HolisticFun
 from .muds import Muds
 
@@ -38,6 +38,7 @@ def profile(
     algorithm: str = "auto",
     seed: int = 0,
     verify_completeness: bool = True,
+    jobs: int | None = None,
 ) -> ProfilingResult:
     """Discover all unary INDs, minimal UCCs, and minimal FDs of a relation.
 
@@ -55,6 +56,11 @@ def profile(
         Random seed for walk-based algorithms (deterministic runs).
     verify_completeness:
         Forwarded to :class:`Muds`; certifies the FD set exact.
+    jobs:
+        Worker-process count for the ``"baseline"`` algorithm, whose
+        three tasks (SPIDER, DUCC, FUN) are independent by definition;
+        ``None``/``1`` keeps the paper's sequential execution.  The
+        holistic algorithms are single search processes and ignore it.
 
     Returns
     -------
@@ -69,4 +75,4 @@ def profile(
         return Muds(seed=seed, verify_completeness=verify_completeness).profile(relation)
     if algorithm == "holistic_fun":
         return HolisticFun().profile(relation)
-    return SequentialBaseline(seed=seed).profile(relation)
+    return BaselineProfiler(seed=seed, jobs=jobs).profile(relation)

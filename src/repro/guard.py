@@ -71,6 +71,17 @@ class BudgetExceeded(RuntimeError):
         self.partial: object | None = None
         self.partial_result: object | None = None
 
+    def __reduce__(self):
+        # Default exception pickling replays __init__ with ``args`` alone,
+        # which does not match this signature; rebuild explicitly so the
+        # exception (with its attached partials) can cross the worker
+        # process boundary of a parallel sweep.
+        return (
+            type(self),
+            (self.reason, self.args[0] if self.args else "", self.budget),
+            {"partial": self.partial, "partial_result": self.partial_result},
+        )
+
 
 class Budget:
     """Resource bounds for one profiling execution.

@@ -11,26 +11,33 @@ from .framework import (
     default_framework,
     verify_agreement,
 )
+from .parallel import FrameworkSpec, WorkloadSpec, default_jobs
 from .profile_report import render_profile_report
 from .reporting import ascii_table, markdown_table, series_block
+from .result_cache import DEFAULT_CACHE_DIR, ResultCache
 from .runner import ExperimentRunner, SweepJournal, SweepPoint, sweep_table
 
 __all__ = [
     "Budget",
     "BudgetExceeded",
+    "DEFAULT_CACHE_DIR",
     "Execution",
     "ExperimentRunner",
     "FAULTS",
     "FaultInjected",
     "Framework",
+    "FrameworkSpec",
     "MetadataDisagreement",
     "Profiler",
+    "ResultCache",
     "STATUS_MARKERS",
     "SweepJournal",
     "SweepPoint",
+    "WorkloadSpec",
     "ascii_table",
     "checkpoint",
     "default_framework",
+    "default_jobs",
     "fault_suite_enabled",
     "guarded",
     "markdown_table",

@@ -36,6 +36,7 @@ from ..metadata.results import ProfilingResult, fd_signature, ucc_signature
 from ..metadata.serialize import result_from_dict, result_to_dict
 from ..pli.pli import KERNEL_STATS
 from ..relation.relation import Relation
+from .result_cache import ResultCache
 
 __all__ = [
     "Profiler",
@@ -84,6 +85,10 @@ class Execution:
     status: str = "ok"
     #: Failure cause for non-ok statuses (``None`` when ok).
     error: str | None = None
+    #: True when this execution was served from a :class:`ResultCache`
+    #: instead of being computed; ``seconds`` then reports the *original*
+    #: compute time, not the (near-zero) lookup time.
+    cached: bool = False
 
     @property
     def counts(self) -> tuple[int, int, int]:
@@ -114,6 +119,7 @@ class Execution:
             "kernel": dict(self.kernel),
             "status": self.status,
             "error": self.error,
+            "cached": self.cached,
             "result": result_to_dict(self.result),
         }
 
@@ -131,6 +137,7 @@ class Execution:
             kernel=dict(record.get("kernel", {})),
             status=record.get("status", "ok"),
             error=record.get("error"),
+            cached=record.get("cached", False),
         )
 
 
@@ -261,7 +268,12 @@ class Framework:
         return tuple(self._profilers)
 
     def run(
-        self, name: str, relation: Relation, budget: Budget | None = None
+        self,
+        name: str,
+        relation: Relation,
+        budget: Budget | None = None,
+        cache: "ResultCache | None" = None,
+        cache_config: Mapping[str, Any] | str | None = None,
     ) -> Execution:
         """Execute one registered algorithm on one relation.
 
@@ -275,6 +287,15 @@ class Framework:
         framework itself never raises for an algorithm failure — that is
         the point: one exploding contender must not take the comparison
         run down (Metanome's TL/ML/ERR cells).
+
+        With a ``cache``, the relation's content fingerprint keys a lookup
+        before anything runs: a hit returns the stored execution (marked
+        :attr:`Execution.cached`, keeping the original compute ``seconds``)
+        and a completed run is stored back.  Budgeted runs bypass the
+        cache entirely — a TL/ML cell is a property of the budget, not of
+        the input, and a caller imposing limits expects the work to be
+        bounded, not skipped.  ``cache_config`` must carry whatever else
+        (seed, variant flags) can change this algorithm's output.
         """
         try:
             factory = self._profilers[name]
@@ -282,6 +303,18 @@ class Framework:
             raise KeyError(
                 f"unknown algorithm {name!r}; registered: {self.algorithms}"
             ) from None
+        if cache is not None and budget is None:
+            fingerprint = relation.fingerprint()
+            payload = cache.get(fingerprint, name, cache_config)
+            if payload is not None:
+                try:
+                    execution = Execution.from_record(payload)
+                except (KeyError, TypeError, ValueError):
+                    execution = None  # stale/corrupt entry: recompute
+                if execution is not None and execution.ok:
+                    execution.cached = True
+                    self.executions.append(execution)
+                    return execution
         profiler = factory()
         status, error_message = "ok", None
         kernel_before = KERNEL_STATS.snapshot()
@@ -323,6 +356,10 @@ class Framework:
             status=status,
             error=error_message,
         )
+        if cache is not None and budget is None and execution.ok:
+            cache.put(
+                relation.fingerprint(), name, execution.to_record(), cache_config
+            )
         self.executions.append(execution)
         return execution
 

@@ -1,0 +1,153 @@
+"""Content-addressed profiling-result cache.
+
+The evaluation grid (Fig. 6/7/8, Table 3) re-profiles the same relations
+over and over — across sweep re-runs, across benchmark drivers, and on
+every CI bench-smoke execution.  Profiling is a pure function of
+(relation content, algorithm, configuration), so its output can be cached
+under a content address: :meth:`~repro.relation.relation.Relation.fingerprint`
+(streamed hash of schema + rows) keys an on-disk store of serialized
+execution records, and any sweep that meets an already-profiled
+``(fingerprint, algorithm, config)`` cell skips the computation entirely.
+
+The cache is a plain directory of JSON files (default:
+``benchmarks/results/cache/``), safe to delete at any time and safe to
+share between concurrent processes: entries are written atomically
+(temp file + :func:`os.replace`) and a corrupt or torn entry is treated
+as a miss, never an error.  Only *completed* executions are ever stored —
+TL/ML/ERR cells depend on the budget that produced them, not just on the
+input, and must be recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = ["ResultCache", "DEFAULT_CACHE_DIR", "config_key"]
+
+#: Default on-disk location (relative to the working directory).
+DEFAULT_CACHE_DIR = os.path.join("benchmarks", "results", "cache")
+
+#: Envelope schema version; bump to invalidate every existing entry.
+CACHE_FORMAT_VERSION = 1
+
+
+def config_key(config: Mapping[str, Any] | str | None) -> str:
+    """Canonical string form of an execution configuration.
+
+    A configuration is whatever, besides the input relation and algorithm
+    name, can change the discovered metadata: seeds, algorithm variants,
+    preprocessing flags.  Mappings canonicalize to sorted compact JSON so
+    key order never splits the cache.
+    """
+    if config is None:
+        return ""
+    if isinstance(config, str):
+        return config
+    return json.dumps(dict(config), sort_keys=True, separators=(",", ":"), default=str)
+
+
+class ResultCache:
+    """Directory-backed ``(fingerprint, algorithm, config) -> payload`` map.
+
+    Payloads are arbitrary JSON-ready dicts; the harness stores serialized
+    :class:`~repro.harness.framework.Execution` records and the CLI stores
+    serialized :class:`~repro.metadata.results.ProfilingResult` documents.
+    ``hits`` / ``misses`` / ``puts`` count this instance's traffic.
+    """
+
+    def __init__(self, root: str | os.PathLike[str] = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    # -- addressing --------------------------------------------------------
+
+    def entry_path(
+        self,
+        fingerprint: str,
+        algorithm: str,
+        config: Mapping[str, Any] | str | None = None,
+    ) -> Path:
+        """On-disk location of one cache cell (exists or not)."""
+        key = config_key(config)
+        tail = hashlib.sha256(
+            f"{fingerprint}\x00{algorithm}\x00{key}".encode()
+        ).hexdigest()[:24]
+        # Two-level fan-out keeps directory listings usable on big caches.
+        return self.root / fingerprint[:2] / f"{fingerprint[2:18]}-{tail}.json"
+
+    # -- traffic -----------------------------------------------------------
+
+    def get(
+        self,
+        fingerprint: str,
+        algorithm: str,
+        config: Mapping[str, Any] | str | None = None,
+    ) -> dict[str, Any] | None:
+        """The cached payload for one cell, or ``None`` on a miss.
+
+        A corrupt entry, a torn write, or an envelope whose address fields
+        do not match (hash-prefix collision) all count as misses — the
+        cache must never turn disk state into an exception.
+        """
+        path = self.entry_path(fingerprint, algorithm, config)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                envelope = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("format_version") != CACHE_FORMAT_VERSION
+            or envelope.get("fingerprint") != fingerprint
+            or envelope.get("algorithm") != algorithm
+            or envelope.get("config") != config_key(config)
+            or not isinstance(envelope.get("payload"), dict)
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return envelope["payload"]
+
+    def put(
+        self,
+        fingerprint: str,
+        algorithm: str,
+        payload: Mapping[str, Any],
+        config: Mapping[str, Any] | str | None = None,
+    ) -> None:
+        """Atomically store one cell (last concurrent writer wins)."""
+        path = self.entry_path(fingerprint, algorithm, config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "format_version": CACHE_FORMAT_VERSION,
+            "fingerprint": fingerprint,
+            "algorithm": algorithm,
+            "config": config_key(config),
+            "payload": dict(payload),
+        }
+        temporary = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        with open(temporary, "w", encoding="utf-8") as handle:
+            json.dump(envelope, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, path)
+        self.puts += 1
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Traffic counters of this instance."""
+        return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache({str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses}, puts={self.puts})"
+        )

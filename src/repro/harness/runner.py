@@ -13,6 +13,12 @@ yields a point-level error entry, and with a :class:`SweepJournal` every
 finished point is appended to a JSONL file as soon as it completes — a
 killed sweep re-run with the same journal resumes, re-executing only the
 points that have no record yet.
+
+With ``jobs > 1`` the unfinished points are dispatched to worker
+processes (:mod:`repro.harness.parallel`); the parent remains the single
+journal writer, so the crash-safety and resume story is identical in
+both modes, and a :class:`~repro.harness.result_cache.ResultCache`
+short-circuits already-profiled cells in either mode.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
 
 from ..guard import Budget
 from ..relation.relation import Relation
@@ -33,6 +39,10 @@ from .framework import (
     verify_agreement,
 )
 from .reporting import ascii_table
+
+if TYPE_CHECKING:  # imported lazily at runtime (parallel imports runner)
+    from .parallel import FrameworkSpec
+    from .result_cache import ResultCache
 
 __all__ = ["SweepPoint", "SweepJournal", "ExperimentRunner", "sweep_table"]
 
@@ -174,6 +184,10 @@ class ExperimentRunner:
         budget: Budget | Mapping[str, Budget] | None = None,
         journal: SweepJournal | None = None,
         resume: bool = True,
+        jobs: int | None = None,
+        framework_spec: "FrameworkSpec | None" = None,
+        result_cache: "ResultCache | None" = None,
+        cache_config: str | None = None,
     ) -> list[SweepPoint]:
         """Execute all algorithms at every sweep point, crash-safely.
 
@@ -192,35 +206,148 @@ class ExperimentRunner:
         is checkpointed to JSONL immediately; when ``resume`` (default)
         and the journal already holds a point's record, the point is
         restored from disk instead of re-executed.
+
+        ``jobs`` > 1 dispatches the unfinished points to a process pool
+        (:mod:`repro.harness.parallel`): ``workload`` must then be a
+        picklable :class:`~repro.harness.parallel.WorkloadSpec` and
+        ``framework_spec`` describes how workers rebuild the framework
+        (default: :func:`~repro.harness.framework.default_framework`).
+        The parent stays the only journal writer — workers return
+        serialized point records, which are journaled here the moment
+        they complete, so resume semantics are unchanged; the returned
+        list always follows the order of ``points`` regardless of
+        completion order.  A dying worker is retried once and then
+        recorded as that point's ``error`` (never raised).
+
+        ``result_cache`` short-circuits already-profiled
+        ``(fingerprint, algorithm, config)`` cells from disk in both
+        modes (unbudgeted executions only; see :meth:`Framework.run`).
         """
         finished = journal.load() if journal is not None and resume else {}
-        results: list[SweepPoint] = []
+        restored: dict[str, SweepPoint] = {}
+        pending: list[object] = []
         for label in points:
-            restored = finished.get(_label_key(label))
-            if restored is not None:
-                results.append(restored)
-                continue
-            point = SweepPoint(label=label)
-            try:
-                relation = workload(label)
-            except Exception as error:  # record, don't abort the sweep
-                point.error = f"workload failed: {type(error).__name__}: {error}"
+            point = finished.get(_label_key(label))
+            if point is not None:
+                restored[_label_key(label)] = point
             else:
-                for name in self.algorithms:
-                    point.executions.append(
-                        self.framework.run(
-                            name, relation, budget=resolve_budget(budget, name)
-                        )
+                pending.append(label)
+
+        if jobs is not None and jobs > 1 and pending:
+            computed = self._sweep_parallel(
+                pending,
+                workload,
+                check_agreement=check_agreement,
+                budget=budget,
+                journal=journal,
+                jobs=jobs,
+                framework_spec=framework_spec,
+                result_cache=result_cache,
+                cache_config=cache_config,
+            )
+        else:
+            computed = {
+                _label_key(label): self._run_point_inline(
+                    label,
+                    workload,
+                    check_agreement=check_agreement,
+                    budget=budget,
+                    journal=journal,
+                    result_cache=result_cache,
+                    cache_config=cache_config,
+                )
+                for label in pending
+            }
+        restored.update(computed)
+        return [restored[_label_key(label)] for label in points]
+
+    def _run_point_inline(
+        self,
+        label: object,
+        workload: Callable[[object], Relation],
+        check_agreement: bool,
+        budget: Budget | Mapping[str, Budget] | None,
+        journal: SweepJournal | None,
+        result_cache: "ResultCache | None",
+        cache_config: str | None,
+    ) -> SweepPoint:
+        """Execute one sweep point in this process (the serial path)."""
+        point = SweepPoint(label=label)
+        try:
+            relation = workload(label)
+        except Exception as error:  # record, don't abort the sweep
+            point.error = f"workload failed: {type(error).__name__}: {error}"
+        else:
+            for name in self.algorithms:
+                point.executions.append(
+                    self.framework.run(
+                        name,
+                        relation,
+                        budget=resolve_budget(budget, name),
+                        cache=result_cache,
+                        cache_config=cache_config,
                     )
-                if check_agreement:
-                    try:
-                        verify_agreement(point.executions)
-                    except MetadataDisagreement as error:
-                        point.error = str(error)
+                )
+            if check_agreement:
+                try:
+                    verify_agreement(point.executions)
+                except MetadataDisagreement as error:
+                    point.error = str(error)
+        if journal is not None:
+            journal.append(point)
+        return point
+
+    def _sweep_parallel(
+        self,
+        pending: list[object],
+        workload: Callable[[object], Relation],
+        check_agreement: bool,
+        budget: Budget | Mapping[str, Budget] | None,
+        journal: SweepJournal | None,
+        jobs: int,
+        framework_spec: "FrameworkSpec | None",
+        result_cache: "ResultCache | None",
+        cache_config: str | None,
+    ) -> dict[str, SweepPoint]:
+        """Dispatch unfinished points to worker processes; journal each
+        serialized record as it completes (single writer, any order)."""
+        from .parallel import (
+            FrameworkSpec,
+            PointTask,
+            WorkloadSpec,
+            run_sweep_points,
+        )
+
+        if not isinstance(workload, WorkloadSpec):
+            raise TypeError(
+                "a parallel sweep (jobs > 1) needs a picklable WorkloadSpec "
+                "as its workload (module-level builder + parameters), got "
+                f"{type(workload).__name__}; pass jobs=1 to keep an "
+                "arbitrary callable"
+            )
+        tasks = [
+            PointTask(
+                label=label,
+                workload=workload,
+                algorithms=tuple(self.algorithms),
+                framework=framework_spec or FrameworkSpec(),
+                budget=budget,
+                check_agreement=check_agreement,
+                cache_root=str(result_cache.root) if result_cache else None,
+                cache_config=cache_config,
+            )
+            for label in pending
+        ]
+        computed: dict[str, SweepPoint] = {}
+        for label, record in run_sweep_points(tasks, jobs=jobs):
+            point = SweepPoint.from_record(record)
             if journal is not None:
                 journal.append(point)
-            results.append(point)
-        return results
+            # Workers executed in their own frameworks; mirror their
+            # executions into the parent framework's log for reporting.
+            self.framework.executions.extend(point.executions)
+            computed[_label_key(label)] = point
+        return computed
 
     @staticmethod
     def series(points: list[SweepPoint], algorithm: str) -> list[tuple[object, float]]:

@@ -8,6 +8,7 @@ JSON document with lossless round-tripping.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any
 
@@ -16,7 +17,14 @@ from .ind import IND
 from .results import ProfilingResult
 from .ucc import UCC
 
-__all__ = ["result_to_dict", "result_from_dict", "dumps", "loads"]
+__all__ = [
+    "result_to_dict",
+    "result_from_dict",
+    "dumps",
+    "loads",
+    "canonical_metadata_dumps",
+    "result_signature",
+]
 
 FORMAT_VERSION = 1
 
@@ -82,3 +90,33 @@ def dumps(result: ProfilingResult, indent: int | None = 2) -> str:
 def loads(text: str) -> ProfilingResult:
     """Parse a result from a JSON string."""
     return result_from_dict(json.loads(text))
+
+
+def canonical_metadata_dumps(result: ProfilingResult) -> str:
+    """Canonical JSON of the *discovered metadata only* (no timings).
+
+    Two results describing the same INDs, UCCs, and FDs over the same
+    schema serialize to byte-identical strings regardless of internal
+    list ordering, phase timings, or counters — the form the determinism
+    checks (parallel sweep vs. serial sweep) and the result cache's
+    integrity comparison hash.
+    """
+    document = {
+        "columns": list(result.column_names),
+        "inds": sorted(str(ind) for ind in result.inds),
+        "uccs": sorted(
+            "{" + ",".join(sorted(ucc.columns)) + "}" for ucc in result.uccs
+        ),
+        "fds": sorted(
+            "{" + ",".join(sorted(fd.lhs)) + "}->" + fd.rhs for fd in result.fds
+        ),
+    }
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def result_signature(result: ProfilingResult) -> str:
+    """Hex SHA-256 of :func:`canonical_metadata_dumps` — a compact,
+    order-insensitive identity of a result's discovered metadata."""
+    return hashlib.sha256(
+        canonical_metadata_dumps(result).encode("utf-8")
+    ).hexdigest()

@@ -64,6 +64,28 @@ class PliStore:
         self.builds += 1
         return index
 
+    def stats(self) -> dict[str, int]:
+        """Substrate-sharing counters (reported per worker by the
+        parallel harness): indexed relations, builds, and reuse hits."""
+        return {
+            "relations": len(self),
+            "builds": self.builds,
+            "reuses": self.reuses,
+        }
+
+    def __reduce__(self):
+        """Refuse to cross process boundaries.
+
+        A store's value is its *warm* indexes, which are meaningless to
+        ship: pickling would haul every pinned PLI and memoized composite
+        along.  The parallel execution layer instead rebuilds profilers —
+        and therefore fresh, process-local stores — inside each worker
+        (:class:`repro.harness.parallel.FrameworkSpec`)."""
+        raise TypeError(
+            "PliStore is process-local and cannot be pickled; workers must "
+            "build their own (see repro.harness.parallel.FrameworkSpec)"
+        )
+
     def discard(self, relation: Relation) -> None:
         """Drop the index of ``relation`` (no-op when absent)."""
         self._indexes.pop(id(relation), None)

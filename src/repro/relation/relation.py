@@ -13,6 +13,7 @@ apply.  :meth:`Relation.deduplicated` implements that preprocessing step.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable, Iterator, Sequence
 from typing import Any
 
@@ -23,6 +24,40 @@ __all__ = ["Relation", "SchemaError"]
 
 class SchemaError(ValueError):
     """Raised for malformed schemas or ragged data."""
+
+
+#: Type tags for :meth:`Relation.fingerprint` value encoding.  ``bool``
+#: must precede ``int`` (it is a subclass) so True/1 get distinct tags.
+_VALUE_TAGS: tuple[tuple[type, bytes], ...] = (
+    (bool, b"\x00b"),
+    (int, b"\x00i"),
+    (float, b"\x00f"),
+    (str, b"\x00s"),
+)
+
+
+def _value_token(value: Value) -> bytes:
+    """Stable, process-independent byte encoding of one cell value.
+
+    Every token is length-prefixed so values containing the tag bytes
+    cannot recreate another value sequence's byte stream (no ambiguity
+    between ``["a\\x00sb"]`` and ``["a", "b"]``).
+    """
+    if value is None:
+        return b"\x00n0:"
+    for kind, tag in _VALUE_TAGS:
+        if type(value) is kind:
+            payload = (
+                value.encode("utf-8", "surrogatepass")
+                if kind is str
+                else repr(value).encode()
+            )
+            return tag + str(len(payload)).encode() + b":" + payload
+    # Fallback for exotic hashables: type name + repr.  repr must be
+    # deterministic for the fingerprint to be stable; the built-in scalar
+    # types every loader in this package produces are all covered above.
+    payload = type(value).__name__.encode() + b":" + repr(value).encode()
+    return b"\x00o" + str(len(payload)).encode() + b":" + payload
 
 
 class Relation:
@@ -38,7 +73,14 @@ class Relation:
         Optional label used in reports (defaults to ``"relation"``).
     """
 
-    __slots__ = ("_names", "_columns", "_n_rows", "_name", "_positions")
+    __slots__ = (
+        "_names",
+        "_columns",
+        "_n_rows",
+        "_name",
+        "_positions",
+        "_fingerprint",
+    )
 
     def __init__(
         self,
@@ -62,6 +104,7 @@ class Relation:
         self._n_rows = lengths.pop() if lengths else 0
         self._name = name
         self._positions = {n: i for i, n in enumerate(names)}
+        self._fingerprint: str | None = None
 
     # -- constructors ------------------------------------------------------
 
@@ -138,6 +181,34 @@ class Relation:
     def iter_rows(self) -> Iterator[tuple[Value, ...]]:
         """Iterate over all rows as tuples."""
         return zip(*self._columns) if self._columns else iter(())
+
+    # -- content addressing ------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Content hash of this relation: hex SHA-256 over schema + rows.
+
+        The fingerprint is *content-addressed*: it covers the column names
+        (in schema order) and every cell value, but not :attr:`name` — two
+        relations with identical schema and data share a fingerprint no
+        matter what they are called, which is what lets a result cache
+        recognize an already-profiled input.  Values are streamed column
+        by column through the hash (no materialized row tuples), each
+        encoded with a type tag so ``1``, ``1.0``, ``"1"``, and ``True``
+        never collide.  Computed once and cached on the instance (the
+        relation is immutable).
+        """
+        if self._fingerprint is not None:
+            return self._fingerprint
+        digest = hashlib.sha256()
+        digest.update(b"repro-relation-v1\x00")
+        digest.update(f"{len(self._names)}x{self._n_rows}".encode())
+        for name, column in zip(self._names, self._columns):
+            encoded = name.encode("utf-8", "surrogatepass")
+            digest.update(b"\x00c" + str(len(encoded)).encode() + b":" + encoded)
+            for value in column:
+                digest.update(_value_token(value))
+        self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # -- transformations ---------------------------------------------------
 

@@ -70,6 +70,17 @@ def inds_as_pairs(result, relation: Relation) -> list[tuple[int, int]]:
     )
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the CLI's default result cache at a per-test directory.
+
+    Without this, every CLI invocation in the suite would populate (and
+    read!) ``benchmarks/results/cache/`` relative to the repository root,
+    leaking state between tests and dirtying the working tree.
+    """
+    monkeypatch.setenv("REPRO_RESULT_CACHE_DIR", str(tmp_path / "result-cache"))
+
+
 @pytest.fixture
 def rng() -> random.Random:
     """Deterministic RNG for tests that need explicit randomness."""

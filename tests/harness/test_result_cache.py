@@ -1,0 +1,162 @@
+"""Tests for the fingerprint-keyed result cache and Framework integration."""
+
+import json
+
+import pytest
+
+from repro.guard import Budget
+from repro.harness import ResultCache, default_framework
+from repro.harness.result_cache import CACHE_FORMAT_VERSION, config_key
+from repro.relation import Relation
+
+
+@pytest.fixture
+def toy() -> Relation:
+    return Relation.from_rows(
+        ["A", "B", "C"],
+        [(1, 1, 2), (2, 1, 2), (3, 2, 4), (4, 2, 4)],
+        name="toy",
+    )
+
+
+@pytest.fixture
+def cache(tmp_path) -> ResultCache:
+    return ResultCache(tmp_path / "cache")
+
+
+class TestFingerprint:
+    def test_name_independent_content_addressed(self, toy):
+        """The same data under a different relation name has the same
+        fingerprint — content addressing, not name addressing."""
+        renamed = Relation.from_rows(
+            ["A", "B", "C"], list(toy.iter_rows()), name="completely-different"
+        )
+        assert toy.fingerprint() == renamed.fingerprint()
+
+    def test_sensitive_to_values_schema_and_order(self, toy):
+        base = toy.fingerprint()
+        tweaked_value = Relation.from_rows(
+            ["A", "B", "C"], [(1, 1, 2), (2, 1, 2), (3, 2, 4), (4, 2, 5)]
+        )
+        renamed_column = Relation.from_rows(
+            ["A", "B", "D"], list(toy.iter_rows())
+        )
+        reordered = Relation.from_rows(
+            ["A", "B", "C"], list(toy.iter_rows())[::-1]
+        )
+        fingerprints = {
+            base,
+            tweaked_value.fingerprint(),
+            renamed_column.fingerprint(),
+            reordered.fingerprint(),
+        }
+        assert len(fingerprints) == 4
+
+    def test_value_types_not_conflated(self):
+        """1, "1", 1.0, and True are different cell values and must hash
+        differently (bool is checked before int on purpose)."""
+        variants = [
+            Relation.from_rows(["A"], [(value,)])
+            for value in (1, "1", 1.0, True, None)
+        ]
+        assert len({r.fingerprint() for r in variants}) == len(variants)
+
+    def test_value_boundaries_are_unambiguous(self):
+        """Adjacent cells must not be collapsible into one another: the
+        encoding length-prefixes every token."""
+        split = Relation.from_rows(["A", "B"], [("a", "b")])
+        joined = Relation.from_rows(["A", "B"], [("ab", "")])
+        assert split.fingerprint() != joined.fingerprint()
+
+    def test_fingerprint_is_memoized_and_stable(self, toy):
+        first = toy.fingerprint()
+        assert toy.fingerprint() is first
+        rebuilt = Relation.from_rows(
+            list(toy.column_names), list(toy.iter_rows()), name=toy.name
+        )
+        assert rebuilt.fingerprint() == first
+
+
+class TestResultCache:
+    def test_put_get_round_trip(self, cache):
+        payload = {"algorithm": "x", "numbers": [1, 2, 3]}
+        cache.put("ab" * 32, "muds", payload, {"seed": 0})
+        assert cache.get("ab" * 32, "muds", {"seed": 0}) == payload
+        assert cache.stats() == {"hits": 1, "misses": 0, "puts": 1}
+
+    def test_cells_are_separated_by_all_key_parts(self, cache):
+        fingerprint = "cd" * 32
+        cache.put(fingerprint, "muds", {"v": 1}, {"seed": 0})
+        assert cache.get("ef" * 32, "muds", {"seed": 0}) is None
+        assert cache.get(fingerprint, "hfun", {"seed": 0}) is None
+        assert cache.get(fingerprint, "muds", {"seed": 1}) is None
+        assert cache.get(fingerprint, "muds", {"seed": 0}) == {"v": 1}
+
+    def test_config_key_canonicalizes_mapping_order(self, cache):
+        assert config_key({"b": 1, "a": 2}) == config_key({"a": 2, "b": 1})
+        fingerprint = "12" * 32
+        cache.put(fingerprint, "muds", {"v": 1}, {"b": 1, "a": 2})
+        assert cache.get(fingerprint, "muds", {"a": 2, "b": 1}) == {"v": 1}
+
+    def test_corrupt_entry_is_a_miss_not_an_error(self, cache):
+        fingerprint = "34" * 32
+        cache.put(fingerprint, "muds", {"v": 1})
+        path = cache.entry_path(fingerprint, "muds")
+        path.write_text("{ torn json", encoding="utf-8")
+        assert cache.get(fingerprint, "muds") is None
+        # Tampered envelope (wrong version) is also a miss.
+        cache.put(fingerprint, "muds", {"v": 1})
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        envelope["format_version"] = CACHE_FORMAT_VERSION + 1
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        assert cache.get(fingerprint, "muds") is None
+
+    def test_no_temp_files_left_behind(self, cache):
+        cache.put("56" * 32, "muds", {"v": 1})
+        leftovers = [
+            p for p in cache.root.rglob("*") if p.is_file() and "tmp" in p.name
+        ]
+        assert leftovers == []
+
+
+class TestFrameworkIntegration:
+    def test_second_run_is_served_from_cache(self, toy, cache):
+        framework = default_framework()
+        first = framework.run("hfun", toy, cache=cache)
+        second = framework.run("hfun", toy, cache=cache)
+        assert first.cached is False
+        assert second.cached is True
+        assert second.counts == first.counts
+        assert cache.stats()["hits"] == 1
+
+    def test_budgeted_runs_bypass_the_cache(self, toy, cache):
+        framework = default_framework()
+        framework.run("hfun", toy, cache=cache)  # populates
+        budget = Budget(deadline_seconds=0.0, checkpoint_stride=1)
+        execution = framework.run("hfun", toy, budget=budget, cache=cache)
+        assert execution.status == "timeout"  # computed, not served
+        assert execution.cached is False
+        # And the TL cell was not stored over the good entry.
+        replay = default_framework().run("hfun", toy, cache=cache)
+        assert replay.cached is True and replay.status == "ok"
+
+    def test_failed_runs_are_not_cached(self, toy, cache):
+        framework = default_framework()
+
+        class Boom:
+            def profile(self, relation):
+                raise RuntimeError("no")
+
+        framework.register("boom", lambda: Boom())
+        execution = framework.run("boom", toy, cache=cache)
+        assert execution.status == "error"
+        assert cache.stats()["puts"] == 0
+        assert default_framework().run("hfun", toy, cache=cache).cached is False
+
+    def test_config_separates_cache_cells(self, toy, cache):
+        framework = default_framework()
+        framework.run("muds", toy, cache=cache, cache_config="seed=0")
+        miss = framework.run("muds", toy, cache=cache, cache_config="seed=1")
+        assert miss.cached is False
+        hit = framework.run("muds", toy, cache=cache, cache_config="seed=0")
+        assert hit.cached is True

@@ -111,3 +111,23 @@ class TestCrossAlgorithmSharing:
         fun_together = fun_on_relation(relation, store=shared)
         assert fun_alone.fds == fun_together.fds
         assert fun_alone.minimal_uccs == fun_together.minimal_uccs
+
+
+class TestStoreProcessLocality:
+    def test_stats_reports_traffic(self, relation):
+        store = PliStore()
+        assert store.stats() == {"relations": 0, "builds": 0, "reuses": 0}
+        store.index_for(relation)
+        store.index_for(relation)
+        stats = store.stats()
+        assert stats["relations"] == 1
+        assert stats["builds"] == 1
+        assert stats["reuses"] == 1
+
+    def test_store_refuses_to_pickle(self):
+        """A PliStore is a process-local cache of live PLI objects; workers
+        must build their own instead of shipping one across a fork."""
+        import pickle
+
+        with pytest.raises(TypeError, match="process-local"):
+            pickle.dumps(PliStore())

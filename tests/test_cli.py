@@ -96,3 +96,62 @@ class TestDuplicateHandling:
         assert main([str(path), "--keep-duplicates"]) == 0
         out = capsys.readouterr().out
         assert "duplicate rows" in out  # the no-UCCs hint
+
+
+class TestResultCacheFlags:
+    def test_second_invocation_hits_the_cache(self, csv_path, capsys):
+        assert main([str(csv_path), "--algorithm", "muds"]) == 0
+        capsys.readouterr()
+        assert main([str(csv_path), "--algorithm", "muds"]) == 0
+        captured = capsys.readouterr()
+        assert "result cache hit for muds" in captured.err
+        # The cached profile prints the same report a computed one does.
+        assert "minimal functional dependencies" in captured.out
+
+    def test_no_result_cache_always_recomputes(self, csv_path, capsys):
+        assert main([str(csv_path), "--no-result-cache"]) == 0
+        capsys.readouterr()
+        assert main([str(csv_path), "--no-result-cache"]) == 0
+        assert "result cache hit" not in capsys.readouterr().err
+
+    def test_explicit_cache_dir(self, csv_path, tmp_path, capsys):
+        cache_dir = tmp_path / "explicit-cache"
+        argv = [str(csv_path), "--result-cache", str(cache_dir)]
+        assert main(argv) == 0
+        assert any(cache_dir.rglob("*.json"))
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "result cache hit" in capsys.readouterr().err
+
+    def test_budgeted_runs_bypass_the_cache(self, csv_path, capsys):
+        assert main([str(csv_path)]) == 0  # populate
+        capsys.readouterr()
+        # Even a generous deadline disables the cache: partials are a
+        # property of the budget, not the input.
+        assert main([str(csv_path), "--deadline", "60"]) == 0
+        assert "result cache hit" not in capsys.readouterr().err
+
+    def test_cached_and_computed_json_are_identical(self, csv_path, tmp_path, capsys):
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        assert main([str(csv_path), "--json", str(first)]) == 0
+        assert main([str(csv_path), "--json", str(second)]) == 0
+        computed = json.loads(first.read_text())
+        cached = json.loads(second.read_text())
+        for volatile in ("phase_seconds",):
+            computed.pop(volatile, None)
+            cached.pop(volatile, None)
+        assert computed == cached
+
+
+class TestJobsFlag:
+    def test_jobs_zero_rejected(self, csv_path, capsys):
+        assert main([str(csv_path), "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_baseline_with_jobs(self, csv_path, capsys):
+        argv = [str(csv_path), "--algorithm", "baseline", "--jobs", "2",
+                "--no-result-cache"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "minimal functional dependencies" in out
