@@ -21,6 +21,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from .. import trace as _trace
 from ..guard import BudgetExceeded
 from ..lattice.search import LatticeSearch
 from ..pli.index import RelationIndex
@@ -64,19 +65,28 @@ def ducc(index: RelationIndex, rng: random.Random | None = None) -> DuccResult:
         predicate=index.is_unique,
         rng=rng or random.Random(0),
     )
-    try:
-        minimal, maximal_non = search.run()
-    except BudgetExceeded as error:
-        positives, negatives = (
-            error.partial if isinstance(error.partial, tuple) else ([], [])
-        )
-        error.partial = DuccResult(
-            minimal_uccs=positives,
-            maximal_non_uccs=negatives,
+    with _trace.span("ducc.search", columns=index.n_columns) as search_span:
+        try:
+            minimal, maximal_non = search.run()
+        except BudgetExceeded as error:
+            positives, negatives = (
+                error.partial if isinstance(error.partial, tuple) else ([], [])
+            )
+            error.partial = DuccResult(
+                minimal_uccs=positives,
+                maximal_non_uccs=negatives,
+                checks=search.evaluations,
+                hole_rounds=search.hole_rounds,
+            )
+            search_span.set(
+                checks=search.evaluations, hole_rounds=search.hole_rounds
+            )
+            raise
+        search_span.set(
+            uccs=len(minimal),
             checks=search.evaluations,
             hole_rounds=search.hole_rounds,
         )
-        raise
     return DuccResult(
         minimal_uccs=minimal,
         maximal_non_uccs=maximal_non,

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import trace as _trace
 from ..guard import BudgetExceeded, checkpoint
 from ..lattice.lattice import apriori_gen
 from ..pli.index import RelationIndex
@@ -74,8 +75,18 @@ def fun(index: RelationIndex) -> FunResult:
     # lattice starts at level 1).
     closures_prev: dict[int, int] = {}
 
+    level_number = 1
     try:
         while level:
+            tracer = _trace.ACTIVE
+            level_span = (
+                tracer.span("fun.level", level=level_number, free_sets=len(level))
+                if tracer is not None
+                else _trace.NULL_SPAN
+            )
+            level_span.__enter__()
+            checks_before = fd_checks
+            fds_before = len(fds)
             free_sets += len(level)
             closures_cur: dict[int, int] = {}
             keys: set[int] = set()
@@ -99,9 +110,10 @@ def fun(index: RelationIndex) -> FunResult:
                     keys.add(mask)
 
             survivors = [mask for mask in level if mask not in keys]
+            candidates = apriori_gen(survivors)
             next_level: dict[int, PLI] = {}
             next_cards: dict[int, int] = {}
-            for candidate in apriori_gen(survivors):
+            for candidate in candidates:
                 checkpoint()
                 high = 1 << (candidate.bit_length() - 1)
                 parent = candidate ^ high
@@ -115,10 +127,20 @@ def fun(index: RelationIndex) -> FunResult:
                 if all(cards[sub] < card for sub in direct_subsets(candidate)):
                     next_level[candidate] = pli
                     next_cards[candidate] = card
+            level_span.set(
+                candidates_generated=len(candidates),
+                pruned_keys=len(keys),
+                pruned_nonfree=len(candidates) - len(next_level),
+                validated=fd_checks - checks_before,
+                fds_found=len(fds) - fds_before,
+            )
+            level_span.__exit__(None, None, None)
             closures_prev = closures_cur
             level = next_level
             cards = next_cards
+            level_number += 1
     except BudgetExceeded as error:
+        level_span.__exit__(None, None, None)
         # FDs/UCCs emitted before the budget ran out are sound (minimal
         # per the levels completed); attach them for graceful degradation.
         error.partial = FunResult(

@@ -18,6 +18,7 @@ from __future__ import annotations
 import heapq
 from collections.abc import Sequence
 
+from .. import trace as _trace
 from ..guard import checkpoint
 from ..pli.index import RelationIndex
 from ..pli.store import PliStore
@@ -72,23 +73,27 @@ def spider(index: RelationIndex) -> list[tuple[int, int]]:
     """
     n = index.n_columns
     # Sorting phase — duplicate-free lists from the shared PLI build.
-    sorted_values = [
-        sorted(
-            {
-                canonical_value(v)
-                for v in index.distinct_values(column)
-                if v is not None
-            }
+    with _trace.span("spider.sort", columns=n):
+        sorted_values = [
+            sorted(
+                {
+                    canonical_value(v)
+                    for v in index.distinct_values(column)
+                    if v is not None
+                }
+            )
+            for column in range(n)
+        ]
+    with _trace.span("spider.merge", columns=n) as merge_span:
+        refs = _merge_candidates(sorted_values)
+        inds = sorted(
+            (dependent, referenced)
+            for dependent in range(n)
+            for referenced in range(n)
+            if dependent != referenced and refs[dependent] >> referenced & 1
         )
-        for column in range(n)
-    ]
-    refs = _merge_candidates(sorted_values)
-    return sorted(
-        (dependent, referenced)
-        for dependent in range(n)
-        for referenced in range(n)
-        if dependent != referenced and refs[dependent] >> referenced & 1
-    )
+        merge_span.set(inds=len(inds))
+    return inds
 
 
 def spider_on_relation(

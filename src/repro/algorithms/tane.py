@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import trace as _trace
 from ..guard import BudgetExceeded, checkpoint
 from ..lattice.lattice import apriori_gen
 from ..pli.index import RelationIndex
@@ -68,8 +69,18 @@ def tane(index: RelationIndex, include_empty_lhs: bool = False) -> TaneResult:
         cards[mask] = plis[mask].distinct_count
         level.append(mask)
 
+    level_number = 1
     try:
         while level:
+            tracer = _trace.ACTIVE
+            level_span = (
+                tracer.span("tane.level", level=level_number, nodes=len(level))
+                if tracer is not None
+                else _trace.NULL_SPAN
+            )
+            level_span.__enter__()
+            checks_before = fd_checks
+            fds_before = len(fds)
             visited += len(level)
             # -- compute dependencies --------------------------------------
             for node in level:
@@ -130,9 +141,18 @@ def tane(index: RelationIndex, include_empty_lhs: bool = False) -> TaneResult:
                 intersections += 1
                 next_plis[candidate] = pli
                 cards[candidate] = pli.distinct_count
+            level_span.set(
+                candidates_generated=len(next_level),
+                pruned=len(level) - len(survivors),
+                validated=fd_checks - checks_before,
+                fds_found=len(fds) - fds_before,
+            )
+            level_span.__exit__(None, None, None)
             plis = next_plis
             level = next_level
+            level_number += 1
     except BudgetExceeded as error:
+        level_span.__exit__(None, None, None)
         # Graceful degradation: everything emitted before the budget ran
         # out is sound (minimal FDs/keys of the levels completed), so hand
         # it to the harness as the execution's partial output.

@@ -8,11 +8,18 @@ Examples::
     python -m repro data.csv --delimiter ';' --no-header --max-rows 5000
     python -m repro data.csv --algorithm baseline --jobs 3
     python -m repro data.csv --no-result-cache
+    python -m repro --dataset bridges --trace out.jsonl
 
 Completed profiles are cached under a content address of the input
 (``Relation.fingerprint()``); re-profiling an identical file answers
 from ``benchmarks/results/cache/`` (override with ``--result-cache`` /
 ``$REPRO_RESULT_CACHE_DIR``, disable with ``--no-result-cache``).
+
+``--trace PATH`` (or ``REPRO_TRACE=PATH`` in the environment) records a
+structured per-phase trace of the run — spans per algorithm phase and
+lattice level with candidate/pruning counters — as JSONL, one event per
+line (schema: ``docs/trace_schema.json``), and prints the per-phase
+summary table after the profile.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ import os
 import sys
 from collections.abc import Sequence
 
+from . import trace as _trace
 from .core.profiler import ALGORITHMS, choose_algorithm, profile
 from .core.statistics import profile_statistics
 from .guard import Budget, BudgetExceeded, guarded
@@ -126,6 +134,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="always recompute; neither read nor write the result cache",
     )
     parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a structured per-phase trace of the run and write it "
+        "as JSONL to PATH (one event per line; see docs/trace_schema.json). "
+        "Defaults to $REPRO_TRACE when that holds a path; tracing is off "
+        "otherwise",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         help="write the result as JSON (use '-' for stdout)",
@@ -196,6 +213,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
+    # Tracing comes up before any profiling work so the trace covers the
+    # whole run.  $REPRO_TRACE already enabled the tracer at import time;
+    # --trace enables it (freshly) here and fixes the output path.
+    trace_path = args.trace or _trace.env_trace_path()
+    tracer = _trace.enable() if args.trace else _trace.ACTIVE
     try:
         relation = _load(args)
     except (OSError, KeyError, ValueError) as error:
@@ -232,6 +254,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             except ValueError:
                 result = None  # stale schema: recompute
             else:
+                if tracer is not None:
+                    # Served from cache: no algorithm ran, so no spans —
+                    # but the trace must say why the run shows no work.
+                    tracer.event(
+                        "cache.hit",
+                        algorithm=algorithm,
+                        dataset=relation.name,
+                        fingerprint=relation.fingerprint()[:12],
+                    )
                 print(
                     f"result cache hit for {algorithm} "
                     f"(fingerprint {relation.fingerprint()[:12]}...)",
@@ -300,6 +331,32 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(line)
     else:
         _print_text_report(result, stats_lines)
+
+    if tracer is not None and trace_path is not None:
+        try:
+            written = _trace.write_jsonl(tracer.events, trace_path)
+        except OSError as error:
+            print(f"warning: trace write failed: {error}", file=sys.stderr)
+        else:
+            print(
+                f"trace written to {trace_path} ({written} events)",
+                file=sys.stderr,
+            )
+            summary = _trace.trace_summary(tracer.events)
+            if summary:
+                print("\nper-phase trace summary:")
+                print(
+                    f"  {'phase':32s} {'count':>6s} {'seconds':>10s} "
+                    f"{'self':>10s}"
+                )
+                for phase, entry in sorted(
+                    summary.items(), key=lambda item: -item[1]["self_seconds"]
+                ):
+                    print(
+                        f"  {phase:32s} {entry['count']:6d} "
+                        f"{entry['seconds']:10.4f} "
+                        f"{entry['self_seconds']:10.4f}"
+                    )
     return exit_code
 
 

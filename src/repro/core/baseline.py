@@ -39,6 +39,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any
 
+from .. import trace as _trace
 from ..algorithms.ducc import DuccResult, ducc
 from ..algorithms.fun import FunResult, fun
 from ..algorithms.spider import spider
@@ -149,7 +150,8 @@ class BaselineProfiler:
         counters: dict[str, int] = {}
         wall_started = time.perf_counter()
 
-        index = self.store.index_for(relation)
+        with _trace.span("baseline.read_and_pli"):
+            index = self.store.index_for(relation)
         fun_intersections_before = index.intersections
 
         inds: list[tuple[int, int]] = []
@@ -157,18 +159,21 @@ class BaselineProfiler:
         fd_pairs: list[tuple[int, int]] = []
         try:
             started = time.perf_counter()
-            inds = spider(index)
+            with _trace.span("baseline.spider"):
+                inds = spider(index)
             timings["spider"] = time.perf_counter() - started
 
             started = time.perf_counter()
-            ducc_result = ducc(index, rng=random.Random(self.seed))
+            with _trace.span("baseline.ducc"):
+                ducc_result = ducc(index, rng=random.Random(self.seed))
             timings["ducc"] = time.perf_counter() - started
             counters["ucc_checks"] = ducc_result.checks
             ucc_masks = ducc_result.minimal_uccs
             ducc_intersections = index.intersections - fun_intersections_before
 
             started = time.perf_counter()
-            fun_result = fun(index)
+            with _trace.span("baseline.fun"):
+                fun_result = fun(index)
             timings["fun"] = time.perf_counter() - started
             fd_pairs = fun_result.fds
             counters["fd_checks"] = fun_result.fd_checks
@@ -222,23 +227,29 @@ class BaselineProfiler:
         budget = _active_budget_copy()
         wall_started = time.perf_counter()
         outputs: dict[str, dict[str, Any]] = {}
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(self.jobs or 1, len(BASELINE_TASKS))
-            ) as pool:
-                futures = {
-                    task: pool.submit(
-                        _baseline_task, task, relation, self.seed, budget
-                    )
-                    for task in BASELINE_TASKS
-                }
-                for task, future in futures.items():
-                    outputs[task] = future.result()
-        except BrokenProcessPool as error:
-            raise RuntimeError(
-                "concurrent baseline worker process died "
-                f"(tasks finished: {sorted(outputs)}): {error}"
-            ) from None
+        workers = min(self.jobs or 1, len(BASELINE_TASKS))
+        with _trace.span("baseline.concurrent", jobs=workers):
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = {
+                        task: pool.submit(
+                            _baseline_task, task, relation, self.seed, budget
+                        )
+                        for task in BASELINE_TASKS
+                    }
+                    for task, future in futures.items():
+                        outputs[task] = future.result()
+            except BrokenProcessPool as error:
+                raise RuntimeError(
+                    "concurrent baseline worker process died "
+                    f"(tasks finished: {sorted(outputs)}): {error}"
+                ) from None
+            # Task spans live in the workers; record each task's outcome
+            # here so the parent trace still shows what ran remotely.
+            for task in BASELINE_TASKS:
+                _trace.event(
+                    "baseline.task", task=task, status=outputs[task]["status"]
+                )
         makespan = time.perf_counter() - wall_started
 
         timings = {

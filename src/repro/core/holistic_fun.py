@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import time
 
+from .. import trace as _trace
 from ..algorithms.fun import FunResult, fun
 from ..algorithms.spider import spider
 from ..guard import BudgetExceeded
@@ -40,18 +41,21 @@ class HolisticFun:
         discovered mid-lattice.
         """
         started = time.perf_counter()
-        index = self.store.index_for(relation)
+        with _trace.span("hfun.read_and_pli"):
+            index = self.store.index_for(relation)
         read_seconds = time.perf_counter() - started
         phase_seconds = {"read_and_pli": read_seconds}
         inds: list[tuple[int, int]] = []
 
         try:
             started = time.perf_counter()
-            inds = spider(index)
+            with _trace.span("hfun.spider"):
+                inds = spider(index)
             phase_seconds["spider"] = time.perf_counter() - started
 
             started = time.perf_counter()
-            fun_result = fun(index)
+            with _trace.span("hfun.fun"):
+                fun_result = fun(index)
             phase_seconds["fun"] = time.perf_counter() - started
         except BudgetExceeded as error:
             if error.partial_result is None:

@@ -30,6 +30,7 @@ import random
 import time
 from dataclasses import dataclass, field
 
+from .. import trace as _trace
 from ..algorithms.ducc import DuccResult, ducc
 from ..algorithms.spider import spider
 from ..guard import BudgetExceeded
@@ -111,7 +112,8 @@ class Muds:
         the harness to record as a graceful-degradation cell.
         """
         started = time.perf_counter()
-        index = self.store.index_for(relation)
+        with _trace.span("muds.read_and_pli"):
+            index = self.store.index_for(relation)
         read_seconds = time.perf_counter() - started
         try:
             report = self.run(index)
@@ -159,7 +161,7 @@ class Muds:
         """
         rng = random.Random(self.seed)
         report = MudsReport()
-        timer = _PhaseTimer(report.phase_seconds)
+        timer = _PhaseTimer(report.phase_seconds, span_prefix="muds")
         # Delta accounting: the index may be shared with earlier runs.
         fd_checks_before = index.fd_checks
         intersections_before = index.intersections
@@ -307,24 +309,43 @@ class Muds:
 
 
 class _PhaseTimer:
-    """Context-manager factory accumulating wall-clock per phase name."""
+    """Context-manager factory accumulating wall-clock per phase name.
 
-    def __init__(self, sink: dict[str, float]):
+    With a ``span_prefix`` every phase additionally opens a trace span
+    ``<prefix>.<phase>`` (a no-op while tracing is disabled), so the
+    structured trace and the report's ``phase_seconds`` stay aligned by
+    construction."""
+
+    def __init__(self, sink: dict[str, float], span_prefix: str | None = None):
         self._sink = sink
+        self._span_prefix = span_prefix
 
     def __call__(self, phase: str) -> "_PhaseClock":
-        return _PhaseClock(self._sink, phase)
+        span_name = (
+            f"{self._span_prefix}.{phase}" if self._span_prefix else None
+        )
+        return _PhaseClock(self._sink, phase, span_name)
 
 
 class _PhaseClock:
-    def __init__(self, sink: dict[str, float], phase: str):
+    def __init__(
+        self, sink: dict[str, float], phase: str, span_name: str | None = None
+    ):
         self._sink = sink
         self._phase = phase
+        self._span_name = span_name
+        self._span = None
         self._started = 0.0
 
     def __enter__(self) -> None:
+        if self._span_name is not None:
+            self._span = _trace.span(self._span_name)
+            self._span.__enter__()
         self._started = time.perf_counter()
 
     def __exit__(self, *exc_info: object) -> None:
         elapsed = time.perf_counter() - self._started
         self._sink[self._phase] = self._sink.get(self._phase, 0.0) + elapsed
+        if self._span is not None:
+            self._span.__exit__(*exc_info)
+            self._span = None

@@ -10,6 +10,7 @@ callers can always pin an algorithm explicitly.
 
 from __future__ import annotations
 
+from .. import trace as _trace
 from ..metadata.results import ProfilingResult
 from ..relation.relation import Relation
 from .baseline import BaselineProfiler
@@ -71,8 +72,17 @@ def profile(
         raise ValueError(f"unknown algorithm {algorithm!r}; pick one of {ALGORITHMS}")
     if algorithm == "auto":
         algorithm = choose_algorithm(relation)
-    if algorithm == "muds":
-        return Muds(seed=seed, verify_completeness=verify_completeness).profile(relation)
-    if algorithm == "holistic_fun":
-        return HolisticFun().profile(relation)
-    return BaselineProfiler(seed=seed, jobs=jobs).profile(relation)
+    with _trace.span(
+        "profile",
+        algorithm=algorithm,
+        dataset=relation.name,
+        columns=relation.n_columns,
+        rows=relation.n_rows,
+    ):
+        if algorithm == "muds":
+            return Muds(
+                seed=seed, verify_completeness=verify_completeness
+            ).profile(relation)
+        if algorithm == "holistic_fun":
+            return HolisticFun().profile(relation)
+        return BaselineProfiler(seed=seed, jobs=jobs).profile(relation)

@@ -12,10 +12,11 @@ from .framework import (
     verify_agreement,
 )
 from .parallel import FrameworkSpec, WorkloadSpec, default_jobs
-from .profile_report import render_profile_report
+from .profile_report import render_profile_report, render_trace_table
 from .reporting import ascii_table, markdown_table, series_block
 from .result_cache import DEFAULT_CACHE_DIR, ResultCache
 from .runner import ExperimentRunner, SweepJournal, SweepPoint, sweep_table
+from .trace import Tracer, trace_summary
 
 __all__ = [
     "Budget",
@@ -33,6 +34,7 @@ __all__ = [
     "STATUS_MARKERS",
     "SweepJournal",
     "SweepPoint",
+    "Tracer",
     "WorkloadSpec",
     "ascii_table",
     "checkpoint",
@@ -42,7 +44,9 @@ __all__ = [
     "guarded",
     "markdown_table",
     "render_profile_report",
+    "render_trace_table",
     "series_block",
     "sweep_table",
+    "trace_summary",
     "verify_agreement",
 ]

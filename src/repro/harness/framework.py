@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Protocol
 
+from .. import trace as _trace
 from ..core.baseline import SequentialBaseline
 from ..core.holistic_fun import HolisticFun
 from ..core.muds import Muds
@@ -313,34 +314,59 @@ class Framework:
                     execution = None  # stale/corrupt entry: recompute
                 if execution is not None and execution.ok:
                     execution.cached = True
+                    # A served run performs no algorithm work, so it must
+                    # not fabricate algorithm spans — per-phase tables
+                    # would show zero-cost runs.  A cache.hit event keeps
+                    # the trace honest about what happened instead.
+                    tracer = _trace.ACTIVE
+                    if tracer is not None:
+                        tracer.event(
+                            "cache.hit",
+                            algorithm=name,
+                            dataset=relation.name,
+                            fingerprint=fingerprint[:12],
+                        )
                     self.executions.append(execution)
                     return execution
         profiler = factory()
         status, error_message = "ok", None
         kernel_before = KERNEL_STATS.snapshot()
-        started = time.perf_counter()
-        try:
-            with guarded(budget):
-                result = profiler.profile(relation)
-        except BudgetExceeded as error:
-            status = error.reason
-            error_message = str(error)
-            partial = error.partial_result
-            result = (
-                partial
-                if isinstance(partial, ProfilingResult)
-                else _empty_result(relation)
+        tracer = _trace.ACTIVE
+        run_span = (
+            tracer.span(
+                "run",
+                algorithm=name,
+                dataset=relation.name,
+                columns=relation.n_columns,
+                rows=relation.n_rows,
             )
-        except MemoryError:
-            status = "memory"
-            error_message = "MemoryError"
-            result = _empty_result(relation)
-        except Exception as error:  # crash containment, by design
-            status = "error"
-            error_message = f"{type(error).__name__}: {error}"
-            result = _empty_result(relation)
-        seconds = time.perf_counter() - started
-        kernel_after = KERNEL_STATS.snapshot()
+            if tracer is not None
+            else _trace.NULL_SPAN
+        )
+        with run_span:
+            started = time.perf_counter()
+            try:
+                with guarded(budget):
+                    result = profiler.profile(relation)
+            except BudgetExceeded as error:
+                status = error.reason
+                error_message = str(error)
+                partial = error.partial_result
+                result = (
+                    partial
+                    if isinstance(partial, ProfilingResult)
+                    else _empty_result(relation)
+                )
+            except MemoryError:
+                status = "memory"
+                error_message = "MemoryError"
+                result = _empty_result(relation)
+            except Exception as error:  # crash containment, by design
+                status = "error"
+                error_message = f"{type(error).__name__}: {error}"
+                result = _empty_result(relation)
+            seconds = time.perf_counter() - started
+            run_span.set(status=status)
         execution = Execution(
             algorithm=name,
             dataset=relation.name,
@@ -349,10 +375,7 @@ class Framework:
             seconds=seconds,
             result=result,
             fd_only=name in self._fd_only,
-            kernel={
-                counter: kernel_after[counter] - kernel_before[counter]
-                for counter in kernel_after
-            },
+            kernel=KERNEL_STATS.delta(kernel_before),
             status=status,
             error=error_message,
         )

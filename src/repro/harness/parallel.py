@@ -43,6 +43,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping
 
+from .. import trace as _trace
 from ..guard import Budget
 from ..relation.relation import Relation
 from .framework import (
@@ -153,6 +154,9 @@ class PointTask:
     #: Result-cache directory (opened per worker), or ``None`` to disable.
     cache_root: str | None = None
     cache_config: str | None = None
+    #: Collect this point's structured trace in the worker and ship it
+    #: back with the serialized record (set when the parent is tracing).
+    trace: bool = False
 
 
 def execute_point_record(task: PointTask) -> dict[str, Any]:
@@ -167,29 +171,44 @@ def execute_point_record(task: PointTask) -> dict[str, Any]:
     """
     from .runner import SweepPoint  # deferred: runner imports this module
 
+    if task.trace and _trace.ACTIVE is None:
+        # The parent was tracing when it built the task; bring this
+        # worker's process-local tracer up so the point's events exist to
+        # ship back.  (A forked worker may instead have inherited a live
+        # tracer including the parent's old events — the rebased capture
+        # below slices past them either way.)
+        _trace.enable()
     point = SweepPoint(label=task.label)
-    try:
-        relation = task.workload.build(task.label)
-    except Exception as error:  # same containment as the inline sweep
-        point.error = f"workload failed: {type(error).__name__}: {error}"
-    else:
-        framework = task.framework.build()
-        cache = ResultCache(task.cache_root) if task.cache_root else None
-        for name in task.algorithms:
-            point.executions.append(
-                framework.run(
-                    name,
-                    relation,
-                    budget=resolve_budget(task.budget, name),
-                    cache=cache,
-                    cache_config=task.cache_config,
-                )
-            )
-        if task.check_agreement:
+    with _trace.capture(drain=True) as captured:
+        with _trace.span("sweep.point", label=str(task.label)):
             try:
-                verify_agreement(point.executions)
-            except MetadataDisagreement as error:
-                point.error = str(error)
+                relation = task.workload.build(task.label)
+            except Exception as error:  # same containment as inline sweeps
+                point.error = (
+                    f"workload failed: {type(error).__name__}: {error}"
+                )
+            else:
+                framework = task.framework.build()
+                cache = (
+                    ResultCache(task.cache_root) if task.cache_root else None
+                )
+                for name in task.algorithms:
+                    point.executions.append(
+                        framework.run(
+                            name,
+                            relation,
+                            budget=resolve_budget(task.budget, name),
+                            cache=cache,
+                            cache_config=task.cache_config,
+                        )
+                    )
+                if task.check_agreement:
+                    try:
+                        verify_agreement(point.executions)
+                    except MetadataDisagreement as error:
+                        point.error = str(error)
+    if task.trace:
+        point.trace = captured.events
     return point.to_record()
 
 

@@ -8,14 +8,18 @@ an engineer.
 
 from __future__ import annotations
 
+from collections.abc import Mapping, Sequence
+from typing import Any
+
 from ..core.statistics import profile_statistics
 from ..metadata.results import ProfilingResult
 from ..pli.index import RelationIndex
 from ..relation.relation import Relation
+from ..trace import trace_summary
 from .framework import Execution
 from .reporting import markdown_table
 
-__all__ = ["render_profile_report"]
+__all__ = ["render_profile_report", "render_trace_table"]
 
 
 def render_profile_report(
@@ -24,6 +28,7 @@ def render_profile_report(
     index: RelationIndex | None = None,
     max_listed: int = 25,
     execution: Execution | None = None,
+    trace: Sequence[Mapping[str, Any]] | None = None,
 ) -> str:
     """Render a Markdown profile of ``relation`` from ``result``.
 
@@ -31,7 +36,10 @@ def render_profile_report(
     "... and N more" line, never a silent cut).  Passing the
     ``execution`` the result came from adds a warning banner when the run
     did not complete (TL/ML/ERR) so partial listings are never mistaken
-    for exhaustive ones.
+    for exhaustive ones.  ``trace`` — the structured events of the run
+    (:mod:`repro.trace`) — adds a per-phase/per-level table with
+    exclusive self-seconds and counters, the report's reproduction of the
+    paper's Fig. 8 runtime breakdown.
     """
     lines: list[str] = [
         f"# Data profile: {relation.name}",
@@ -107,7 +115,44 @@ def render_profile_report(
                 ],
             )
         )
+    if trace:
+        lines += ["", "## Per-phase trace", ""]
+        lines.append(render_trace_table(trace))
     return "\n".join(lines)
+
+
+def render_trace_table(events: Sequence[Mapping[str, Any]]) -> str:
+    """Markdown table of :func:`repro.trace.trace_summary` over ``events``.
+
+    One row per phase (span name, split per lattice level), ordered by
+    descending exclusive self-time so the dominant phase leads — the
+    Fig. 8 reading order.  The counters column compacts each phase's
+    rolled-up counters (``name=value``, sorted)."""
+    summary = trace_summary(events)
+    rows = []
+    for phase, entry in sorted(
+        summary.items(), key=lambda item: -item[1]["self_seconds"]
+    ):
+        counters = " ".join(
+            f"{name}={_compact(value)}"
+            for name, value in sorted(entry["counters"].items())
+        )
+        rows.append(
+            [
+                phase,
+                entry["count"],
+                f"{entry['seconds']:.4f}",
+                f"{entry['self_seconds']:.4f}",
+                counters,
+            ]
+        )
+    return markdown_table(
+        ["phase", "count", "seconds", "self seconds", "counters"], rows
+    )
+
+
+def _compact(value: int | float) -> str:
+    return f"{value:.3f}" if isinstance(value, float) else str(value)
 
 
 def _listing(items: list[str], max_listed: int, empty: str) -> list[str]:

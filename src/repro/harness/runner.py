@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
 
+from .. import trace as _trace
 from ..guard import Budget
 from ..relation.relation import Relation
 from .framework import (
@@ -60,6 +61,11 @@ class SweepPoint:
     executions: list[Execution] = field(default_factory=list)
     #: Point-level failure (workload crash / metadata disagreement), if any.
     error: str | None = None
+    #: Structured trace events of this point's executions (rebased per
+    #: point; empty when tracing was disabled while the point ran).
+    #: Parallel sweeps ship each worker's buffer back through this field,
+    #: so serial and pooled traces land in the same place.
+    trace: list[dict[str, Any]] = field(default_factory=list)
 
     def seconds(self, algorithm: str) -> float:
         """Runtime of one algorithm at this point."""
@@ -103,12 +109,18 @@ class SweepPoint:
     # -- journal (de)serialization ----------------------------------------
 
     def to_record(self) -> dict[str, Any]:
-        """JSON-ready form for the sweep journal."""
-        return {
+        """JSON-ready form for the sweep journal.
+
+        The trace rides along only when non-empty, so untraced journals
+        keep their pre-tracing wire format byte for byte."""
+        record: dict[str, Any] = {
             "label": self.label,
             "error": self.error,
             "executions": [execution.to_record() for execution in self.executions],
         }
+        if self.trace:
+            record["trace"] = self.trace
+        return record
 
     @classmethod
     def from_record(cls, record: Mapping[str, Any]) -> "SweepPoint":
@@ -119,6 +131,7 @@ class SweepPoint:
                 Execution.from_record(entry) for entry in record["executions"]
             ],
             error=record.get("error"),
+            trace=list(record.get("trace", [])),
         )
 
 
@@ -273,26 +286,35 @@ class ExperimentRunner:
     ) -> SweepPoint:
         """Execute one sweep point in this process (the serial path)."""
         point = SweepPoint(label=label)
-        try:
-            relation = workload(label)
-        except Exception as error:  # record, don't abort the sweep
-            point.error = f"workload failed: {type(error).__name__}: {error}"
-        else:
-            for name in self.algorithms:
-                point.executions.append(
-                    self.framework.run(
-                        name,
-                        relation,
-                        budget=resolve_budget(budget, name),
-                        cache=result_cache,
-                        cache_config=cache_config,
-                    )
-                )
-            if check_agreement:
+        # Per-point capture (drained so a long sweep does not hold every
+        # point's events twice) with rebased span ids: the same slice a
+        # pool worker would ship back, so jobs=1 and jobs=N traces are
+        # structurally identical.
+        with _trace.capture(drain=True) as captured:
+            with _trace.span("sweep.point", label=str(label)):
                 try:
-                    verify_agreement(point.executions)
-                except MetadataDisagreement as error:
-                    point.error = str(error)
+                    relation = workload(label)
+                except Exception as error:  # record, don't abort the sweep
+                    point.error = (
+                        f"workload failed: {type(error).__name__}: {error}"
+                    )
+                else:
+                    for name in self.algorithms:
+                        point.executions.append(
+                            self.framework.run(
+                                name,
+                                relation,
+                                budget=resolve_budget(budget, name),
+                                cache=result_cache,
+                                cache_config=cache_config,
+                            )
+                        )
+                    if check_agreement:
+                        try:
+                            verify_agreement(point.executions)
+                        except MetadataDisagreement as error:
+                            point.error = str(error)
+        point.trace = captured.events
         if journal is not None:
             journal.append(point)
         return point
@@ -335,6 +357,7 @@ class ExperimentRunner:
                 check_agreement=check_agreement,
                 cache_root=str(result_cache.root) if result_cache else None,
                 cache_config=cache_config,
+                trace=_trace.ACTIVE is not None,
             )
             for label in pending
         ]

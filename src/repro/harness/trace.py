@@ -1,0 +1,61 @@
+"""Harness face of the structured-tracing layer (see :mod:`repro.trace`).
+
+The tracer lives in the import-order-neutral :mod:`repro.trace` so the
+PLI kernel and the algorithms can emit spans and counters without
+importing the harness; this module re-exports the public names where
+harness users look for them::
+
+    from repro.harness.trace import enable, trace_summary
+
+    tracer = enable()
+    framework.run("muds", relation)
+    table = trace_summary(tracer.events)
+"""
+
+from __future__ import annotations
+
+from ..trace import (
+    DEFAULT_SCHEMA,
+    NULL_SPAN,
+    Span,
+    Tracer,
+    active,
+    capture,
+    count,
+    disable,
+    enable,
+    env_trace_path,
+    event,
+    read_jsonl,
+    rebase,
+    span,
+    structural,
+    summary_total_seconds,
+    trace_summary,
+    validate_events,
+    validate_trace_file,
+    write_jsonl,
+)
+
+__all__ = [
+    "DEFAULT_SCHEMA",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "active",
+    "capture",
+    "count",
+    "disable",
+    "enable",
+    "env_trace_path",
+    "event",
+    "read_jsonl",
+    "rebase",
+    "span",
+    "structural",
+    "summary_total_seconds",
+    "trace_summary",
+    "validate_events",
+    "validate_trace_file",
+    "write_jsonl",
+]

@@ -31,6 +31,7 @@ from __future__ import annotations
 import random
 from collections.abc import Callable, Iterable
 
+from .. import trace as _trace
 from ..guard import BudgetExceeded, checkpoint
 from ..relation.columnset import direct_subsets, direct_supersets
 from .hitting_set import minimal_hitting_sets
@@ -162,26 +163,39 @@ class LatticeSearch:
                 if self.universe >> i & 1
             ]
             self.rng.shuffle(seeds)
-            for seed in seeds:
-                if self._lookup(seed) is None:
-                    self._walk(seed)
+            evals_before = self.evaluations
+            with _trace.span("search.seed_walks", seeds=len(seeds)) as walk_span:
+                for seed in seeds:
+                    if self._lookup(seed) is None:
+                        self._walk(seed)
+                walk_span.set(validated=self.evaluations - evals_before)
             while True:
-                negatives = list(self._neg) or [0]
-                candidates = minimal_hitting_sets(
-                    (self.universe & ~negative for negative in negatives),
-                    self.universe,
-                )
-                unresolved = [
-                    c for c in candidates if not self._confirmed_minimal(c)
-                ]
-                if not unresolved:
-                    return (
-                        sorted(candidates),
-                        sorted(negatives) if negatives != [0] else [],
+                evals_before = self.evaluations
+                with _trace.span(
+                    "search.hole_round", round=self.hole_rounds + 1
+                ) as round_span:
+                    negatives = list(self._neg) or [0]
+                    candidates = minimal_hitting_sets(
+                        (self.universe & ~negative for negative in negatives),
+                        self.universe,
                     )
-                self.hole_rounds += 1
-                for candidate in unresolved:
-                    self._walk(candidate)
+                    unresolved = [
+                        c for c in candidates if not self._confirmed_minimal(c)
+                    ]
+                    round_span.set(
+                        candidates_generated=len(candidates),
+                        pruned=len(candidates) - len(unresolved),
+                        validated=self.evaluations - evals_before,
+                    )
+                    if not unresolved:
+                        return (
+                            sorted(candidates),
+                            sorted(negatives) if negatives != [0] else [],
+                        )
+                    self.hole_rounds += 1
+                    for candidate in unresolved:
+                        self._walk(candidate)
+                    round_span.set(validated=self.evaluations - evals_before)
         except BudgetExceeded as error:
             if error.partial is None:
                 error.partial = (sorted(self._pos), sorted(self._neg))

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from .. import trace as _trace
 from ..faults import CACHE_PUT, FAULTS
 from ..relation.columnset import size
 from .pli import PLI
@@ -52,16 +53,23 @@ class PliCache:
 
     def get(self, mask: int) -> PLI | None:
         """Return the cached PLI for ``mask`` or ``None`` (counts stats)."""
+        tracer = _trace.ACTIVE
         pli = self._pinned.get(mask)
         if pli is not None:
             self.hits += 1
+            if tracer is not None:
+                tracer.count("pli.cache_hits")
             return pli
         pli = self._entries.get(mask)
         if pli is not None:
             self._entries.move_to_end(mask)
             self.hits += 1
+            if tracer is not None:
+                tracer.count("pli.cache_hits")
             return pli
         self.misses += 1
+        if tracer is not None:
+            tracer.count("pli.cache_misses")
         return None
 
     def peek(self, mask: int) -> PLI | None:
@@ -90,6 +98,7 @@ class PliCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
+            _trace.count("pli.cache_evictions")
 
     def clear_composites(self) -> None:
         """Drop every non-pinned entry (e.g. between profiling phases)."""

@@ -36,10 +36,11 @@ Metanome default for FD/UCC discovery.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 from typing import Any
 
 from .. import guard as _guard
+from .. import trace as _trace
 
 __all__ = [
     "PLI",
@@ -81,6 +82,17 @@ class KernelStats:
             "probe_builds": self.probe_builds,
             "probe_reuses": self.probe_reuses,
         }
+
+    def delta(self, before: Mapping[str, int]) -> dict[str, int]:
+        """Counter increments since an earlier :meth:`snapshot`.
+
+        The counters themselves are process-lifetime monotone — nothing
+        resets them between executions — so every per-run attribution
+        must be snapshot/delta bracketing, never a raw read.  This is
+        the one supported way to do that bracketing (the harness wraps
+        each profiler call with it)."""
+        after = self.snapshot()
+        return {name: after[name] - before.get(name, 0) for name in after}
 
     def __repr__(self) -> str:
         return (
@@ -184,10 +196,15 @@ class PLI:
         Do not mutate the returned list.
         """
         probe = self._probe
+        tracer = _trace.ACTIVE
         if probe is not None:
             KERNEL_STATS.probe_reuses += 1
+            if tracer is not None:
+                tracer.count("pli.probe_reuses")
             return probe
         KERNEL_STATS.probe_builds += 1
+        if tracer is not None:
+            tracer.count("pli.probe_builds")
         probe = [-1] * self.n_rows
         for cluster_id, cluster in enumerate(self.clusters):
             for row in cluster:
@@ -253,8 +270,18 @@ class PLI:
         # so ordering by first element is full canonical order.
         result.sort()
         budget = _guard.ACTIVE
-        if budget is not None:
-            budget.charge_intersection(sum(map(len, result)))
+        tracer = _trace.ACTIVE
+        if budget is not None or tracer is not None:
+            clustered_rows = sum(map(len, result))
+            if tracer is not None:
+                # Counters on the innermost open span (rolled up outward)
+                # — no event objects, so tracing a lattice walk cannot
+                # flood the buffer.  Counted before the budget charge so
+                # the intersection that trips the budget is still traced.
+                tracer.count("pli.intersections")
+                tracer.count("pli.clustered_rows", clustered_rows)
+            if budget is not None:
+                budget.charge_intersection(clustered_rows)
         return PLI._from_canonical(tuple(result), self.n_rows)
 
     def refines(self, vector: Sequence[int]) -> bool:

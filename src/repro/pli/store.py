@@ -18,6 +18,7 @@ interactive session — not process-global.  :meth:`discard` and
 
 from __future__ import annotations
 
+from .. import trace as _trace
 from ..relation.relation import Relation
 from .index import RelationIndex
 
@@ -58,20 +59,52 @@ class PliStore:
         entry = self._indexes.get(id(relation))
         if entry is not None:
             self.reuses += 1
+            _trace.count("pli.store_reuses")
             return entry[1]
-        index = RelationIndex(relation, cache_capacity=self.cache_capacity)
+        with _trace.span(
+            "pli.build_index",
+            relation=relation.name,
+            columns=relation.n_columns,
+            rows=relation.n_rows,
+        ):
+            index = RelationIndex(relation, cache_capacity=self.cache_capacity)
         self._indexes[id(relation)] = (relation, index)
         self.builds += 1
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.gauge("pli.store.relations", len(self._indexes))
         return index
 
     def stats(self) -> dict[str, int]:
-        """Substrate-sharing counters (reported per worker by the
-        parallel harness): indexed relations, builds, and reuse hits."""
+        """Substrate-sharing counters: indexed relations, builds, and
+        reuse hits.
+
+        Counter lifecycle: ``builds``/``reuses`` accumulate for the
+        lifetime of the store, which is scoped to its owner — one
+        :class:`~repro.harness.framework.Framework` keeps one store
+        across all of its executions, and each parallel sweep worker
+        builds a fresh framework (hence a fresh store) per point, so
+        worker-reported stats are per-point by construction.  Callers
+        that reuse one store across phases and want per-phase numbers
+        must bracket with :meth:`reset_counters` explicitly; nothing
+        resets these implicitly."""
         return {
             "relations": len(self),
             "builds": self.builds,
             "reuses": self.reuses,
         }
+
+    def reset_counters(self) -> dict[str, int]:
+        """Zero ``builds``/``reuses`` and return the pre-reset stats.
+
+        Only the traffic counters reset — the warm indexes stay, which
+        is the point: a caller measuring "how much did phase two reuse?"
+        wants fresh counters over a warm store.  This is the explicit
+        lifecycle boundary; see :meth:`stats`."""
+        before = self.stats()
+        self.builds = 0
+        self.reuses = 0
+        return before
 
     def __reduce__(self):
         """Refuse to cross process boundaries.

@@ -71,6 +71,21 @@ def inds_as_pairs(result, relation: Relation) -> list[tuple[int, int]]:
 
 
 @pytest.fixture(autouse=True)
+def _tracing_disabled():
+    """Keep the structured tracer off between tests.
+
+    Tests that enable tracing (or that inherit ``REPRO_TRACE`` from the
+    environment) must not leak an active tracer — and its growing event
+    buffer — into every later test in the process.
+    """
+    from repro import trace
+
+    trace.disable()
+    yield
+    trace.disable()
+
+
+@pytest.fixture(autouse=True)
 def _isolated_result_cache(tmp_path, monkeypatch):
     """Point the CLI's default result cache at a per-test directory.
 

@@ -214,3 +214,19 @@ class TestRefinesGuard:
     def test_matching_length_accepted(self):
         pli = pli_from_column(["a", "a", "b"])
         assert pli.refines([7, 7, 9])
+
+
+def test_kernel_stats_delta_brackets_a_run():
+    before = KERNEL_STATS.snapshot()
+    a = pli_from_column([1, 1, 2, 2, 3, 3])
+    b = pli_from_column([1, 2, 1, 2, 1, 2])
+    a.intersect(b)
+    delta = KERNEL_STATS.delta(before)
+    assert delta == {
+        "pli_intersections": 1,
+        "probe_builds": 1,
+        "probe_reuses": 0,
+    }
+    # Missing keys in the snapshot count from zero (forward-compatible
+    # bracketing across counter additions).
+    assert KERNEL_STATS.delta({})["pli_intersections"] >= 1

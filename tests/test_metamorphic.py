@@ -1,0 +1,193 @@
+"""Metamorphic invariants of the discovery algorithms.
+
+Minimal FDs, minimal UCCs, and unary INDs are properties of the *set* of
+tuples and of the *named* columns — not of row order, column order, or
+tuple multiplicity (except UCCs, which duplicates destroy completely).
+This suite generates ~150 seeded random relations (stdlib ``random``; no
+hypothesis shrinking needed because every case is already tiny and its
+seed is printed in the test id) and checks, for all six algorithms:
+
+* row permutation leaves every result unchanged;
+* column permutation leaves every result unchanged modulo the index
+  relabeling (comparing name-based signatures makes this automatic);
+* duplicate-row injection leaves FDs and INDs unchanged and makes the
+  minimal-UCC set empty (no column combination distinguishes two equal
+  rows — the reason the pipeline's §3 preprocessing dedups first);
+* the base relation's results agree with the brute-force oracle
+  (:mod:`repro.algorithms.naive`).
+
+Each algorithm is compared on the metadata it actually discovers:
+MUDS and Holistic FUN on all three kinds, TANE on FDs, FUN on FDs and
+UCCs, DUCC on UCCs, SPIDER on unary INDs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algorithms.ducc import ducc_on_relation
+from repro.algorithms.fun import fun_on_relation
+from repro.algorithms.naive import naive_fds, naive_inds, naive_uccs
+from repro.algorithms.spider import spider_on_relation
+from repro.algorithms.tane import tane_on_relation
+from repro.core.holistic_fun import HolisticFun
+from repro.core.muds import Muds
+from repro.metadata.results import fd_signature, ucc_signature
+from repro.relation.relation import Relation
+
+SEED = 20160315  # EDBT 2016; fixed so CI failures reproduce locally
+N_BATCHES = 10
+RELATIONS_PER_BATCH = 15
+MAX_COLUMNS = 5
+MAX_ROWS = 12
+MAX_DOMAIN = 4
+
+
+# -- name-based signatures ---------------------------------------------------
+#
+# Mask/index outputs are translated to column *names* before comparison.
+# Names travel with their columns under permutation, so "invariant modulo
+# index relabeling" becomes plain equality of these signatures.
+
+
+def _names_of(mask: int, names: tuple[str, ...]) -> frozenset[str]:
+    return frozenset(
+        names[i] for i in range(len(names)) if (mask >> i) & 1
+    )
+
+
+def _fd_sig(pairs, names):
+    return frozenset((_names_of(lhs, names), names[rhs]) for lhs, rhs in pairs)
+
+
+def _ucc_sig(masks, names):
+    return frozenset(_names_of(mask, names) for mask in masks)
+
+
+def _ind_sig(pairs, names):
+    return frozenset((names[dep], names[ref]) for dep, ref in pairs)
+
+
+def _signatures(relation: Relation) -> dict[str, frozenset]:
+    """Run all six algorithms; name-based signatures keyed ``alg.kind``."""
+    sigs: dict[str, frozenset] = {}
+    for alg, profiler in (("muds", Muds(seed=0)), ("hfun", HolisticFun())):
+        result = profiler.profile(relation)
+        sigs[f"{alg}.fds"] = fd_signature(result.fds)
+        sigs[f"{alg}.uccs"] = ucc_signature(result.uccs)
+        sigs[f"{alg}.inds"] = frozenset(
+            (ind.dependent, ind.referenced) for ind in result.inds
+        )
+    names = relation.column_names
+    sigs["tane.fds"] = _fd_sig(tane_on_relation(relation).fds, names)
+    fun_result = fun_on_relation(relation)
+    sigs["fun.fds"] = _fd_sig(fun_result.fds, names)
+    sigs["fun.uccs"] = _ucc_sig(fun_result.minimal_uccs, names)
+    sigs["ducc.uccs"] = _ucc_sig(
+        ducc_on_relation(relation, rng=random.Random(0)).minimal_uccs, names
+    )
+    sigs["spider.inds"] = _ind_sig(spider_on_relation(relation), names)
+    return sigs
+
+
+def _oracle(relation: Relation) -> dict[str, frozenset]:
+    names = relation.column_names
+    return {
+        "fds": _fd_sig(naive_fds(relation), names),
+        "uccs": _ucc_sig(naive_uccs(relation), names),
+        "inds": _ind_sig(naive_inds(relation), names),
+    }
+
+
+# -- generators --------------------------------------------------------------
+
+
+def _random_relation(rng: random.Random, tag: str) -> Relation:
+    """A small random relation with duplicate-free rows.
+
+    Duplicate-free bases keep the three transforms orthogonal: only the
+    explicit duplicate-injection case below exercises multiplicity.
+    Small domains maximize FD/UCC/IND density per table.
+    """
+    n_columns = rng.randint(1, MAX_COLUMNS)
+    n_rows = rng.randint(0, MAX_ROWS)
+    seen: set[tuple[int, ...]] = set()
+    rows: list[tuple[int, ...]] = []
+    for _ in range(n_rows):
+        row = tuple(rng.randint(0, MAX_DOMAIN) for _ in range(n_columns))
+        if row not in seen:
+            seen.add(row)
+            rows.append(row)
+    names = [chr(ord("A") + i) for i in range(n_columns)]
+    return Relation.from_rows(names, rows, name=tag)
+
+
+def _permute_rows(relation: Relation, rng: random.Random) -> Relation:
+    rows = list(relation.iter_rows())
+    rng.shuffle(rows)
+    return Relation.from_rows(
+        list(relation.column_names), rows, name=f"{relation.name}/rowperm"
+    )
+
+
+def _permute_columns(relation: Relation, rng: random.Random) -> Relation:
+    order = list(range(relation.n_columns))
+    rng.shuffle(order)
+    names = [relation.column_names[i] for i in order]
+    rows = [tuple(row[i] for i in order) for row in relation.iter_rows()]
+    return Relation.from_rows(names, rows, name=f"{relation.name}/colperm")
+
+
+def _inject_duplicates(relation: Relation, rng: random.Random) -> Relation:
+    rows = list(relation.iter_rows())
+    rows += [rows[rng.randrange(len(rows))] for _ in range(rng.randint(1, 3))]
+    rng.shuffle(rows)
+    return Relation.from_rows(
+        list(relation.column_names), rows, name=f"{relation.name}/dup"
+    )
+
+
+# -- the suite ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("batch", range(N_BATCHES))
+def test_metamorphic_invariants(batch: int) -> None:
+    rng = random.Random(SEED + batch)
+    for index in range(RELATIONS_PER_BATCH):
+        tag = f"meta[{batch}.{index}]"
+        relation = _random_relation(rng, tag)
+        base = _signatures(relation)
+
+        # Oracle agreement on the base relation.
+        oracle = _oracle(relation)
+        for key, sig in base.items():
+            kind = key.split(".", 1)[1]
+            assert sig == oracle[kind], (
+                f"{tag}: {key} disagrees with the naive oracle"
+            )
+
+        # Row permutation: everything invariant.
+        permuted = _signatures(_permute_rows(relation, rng))
+        assert permuted == base, f"{tag}: results changed under row permutation"
+
+        # Column permutation: invariant modulo relabeling (name signatures).
+        relabeled = _signatures(_permute_columns(relation, rng))
+        assert relabeled == base, (
+            f"{tag}: results changed under column permutation"
+        )
+
+        # Duplicate rows: FDs and INDs invariant, minimal UCCs vanish.
+        if relation.n_rows:
+            duplicated = _signatures(_inject_duplicates(relation, rng))
+            for key, sig in duplicated.items():
+                kind = key.split(".", 1)[1]
+                if kind == "uccs":
+                    assert sig == frozenset(), (
+                        f"{tag}: {key} nonempty despite duplicate rows"
+                    )
+                else:
+                    assert sig == base[key], (
+                        f"{tag}: {key} changed under duplicate injection"
+                    )
