@@ -68,6 +68,23 @@ def fun(index: RelationIndex) -> FunResult:
     free_sets = 0
 
     vectors = [index.vector(column) for column in range(n)]
+    # Stage-1 refutation seam.  FUN's level PLIs are level-local (never in
+    # the shared cache), so the sample is consulted directly, one batched
+    # query per free set: a refuted rhs skips the refinement scan
+    # entirely.  Because FUN validates by refinement (early-abort probe
+    # scans), a sample query only pays for itself when the free set's
+    # clustered rows dwarf the sample — hence the per-node cost gate
+    # below, plus a permanent cutoff after the first consulted level that
+    # yields no refutations (sample groupings only refine toward empty as
+    # lhs masks grow).
+    planner = index.planner
+    consult_sample = planner is not None
+    # A refuted rhs skips a scan of up to n_clustered_rows probe entries;
+    # the sample query costs up to max_rows per rhs.  Demand a 4x margin
+    # so early-aborting exact scans still lose to the sample on average.
+    consult_floor = (
+        4 * planner.config.max_rows if planner is not None else 0
+    )
     # Current level of free sets: mask -> PLI.
     level: dict[int, PLI] = {bit(c): index.column_pli(c) for c in range(n)}
     cards: dict[int, int] = {mask: pli.distinct_count for mask, pli in level.items()}
@@ -90,11 +107,21 @@ def fun(index: RelationIndex) -> FunResult:
             free_sets += len(level)
             closures_cur: dict[int, int] = {}
             keys: set[int] = set()
+            level_refuted = 0
+            level_consulted = False
             for mask, pli in level.items():
                 checkpoint()
                 determined = 0
-                for rhs in iter_bits(universe & ~mask):
+                rhs_mask = universe & ~mask
+                refuted = 0
+                if consult_sample and pli.n_clustered_rows >= consult_floor:
+                    level_consulted = True
+                    refuted = planner.refuted_rhs(mask, rhs_mask)
+                    level_refuted += refuted.bit_count()
+                for rhs in iter_bits(rhs_mask):
                     fd_checks += 1
+                    if refuted >> rhs & 1:
+                        continue
                     if pli.refines(vectors[rhs]):
                         determined |= bit(rhs)
                 closures_cur[mask] = determined
@@ -135,6 +162,14 @@ def fun(index: RelationIndex) -> FunResult:
                 fds_found=len(fds) - fds_before,
             )
             level_span.__exit__(None, None, None)
+            # Sample groupings only refine (toward empty) as lhs masks
+            # grow, so a consulted level with zero refutations marks the
+            # point where consulting costs more than the refinement scans
+            # it could skip; stop for the rest of the lattice.  Levels
+            # where the cost gate skipped every node don't count — they
+            # say nothing about the sample's remaining power.
+            if consult_sample and level_consulted and level_refuted == 0:
+                consult_sample = False
             closures_prev = closures_cur
             level = next_level
             cards = next_cards

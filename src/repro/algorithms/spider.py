@@ -28,16 +28,28 @@ from .values import canonical_value
 __all__ = ["spider", "spider_on_relation", "spider_across"]
 
 
-def _merge_candidates(sorted_values: list[list[str]]) -> list[int]:
+def _merge_candidates(
+    sorted_values: list[list[str]],
+    initial_refs: list[int] | None = None,
+) -> list[int]:
     """SPIDER's comparison phase over sorted duplicate-free value lists.
 
     Returns, per attribute, the bitmask of attributes it can still be
     included in: at every merge step, the group of attributes holding the
     current smallest value can only be included in one another.
+
+    ``initial_refs`` seeds the candidate sets (the sampling prefilter's
+    already-refuted pairs); the merge only ever narrows them, so an empty
+    seed short-circuits the sweep.
     """
     n = len(sorted_values)
     all_attrs = (1 << n) - 1
-    refs = [all_attrs & ~(1 << attr) for attr in range(n)]
+    if initial_refs is None:
+        refs = [all_attrs & ~(1 << attr) for attr in range(n)]
+    else:
+        refs = list(initial_refs)
+        if not any(refs):
+            return refs
     cursors = [0] * n
     heap: list[tuple[str, int]] = [
         (values[0], attr) for attr, values in enumerate(sorted_values) if values
@@ -84,8 +96,15 @@ def spider(index: RelationIndex) -> list[tuple[int, int]]:
             )
             for column in range(n)
         ]
+    # Stage 1: sampled value probes against the full referenced sets clear
+    # candidate pairs with an exact witness before the merge sweep starts.
+    initial_refs = (
+        index.planner.prefilter_ind_refs(sorted_values)
+        if index.planner is not None
+        else None
+    )
     with _trace.span("spider.merge", columns=n) as merge_span:
-        refs = _merge_candidates(sorted_values)
+        refs = _merge_candidates(sorted_values, initial_refs)
         inds = sorted(
             (dependent, referenced)
             for dependent in range(n)

@@ -7,6 +7,12 @@ TANE traverses the attribute lattice bottom-up keeping, for every node
 comparing stripped-partition cardinalities (Lemma 1), candidate sets shrink
 with every found FD, nodes with empty ``C+`` are deleted, and keys are
 pruned after emitting their remaining minimal FDs.
+
+The sampling-driven refutation engine does not hook TANE's main loop: its
+per-node FD test is an O(1) cardinality comparison of PLIs the traversal
+materializes anyway, so there is no exact check a sample could save.  TANE
+still benefits indirectly wherever it validates through the shared index
+seam (:meth:`~repro.pli.index.RelationIndex.check_fd` in key pruning).
 """
 
 from __future__ import annotations

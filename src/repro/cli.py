@@ -119,6 +119,24 @@ def build_parser() -> argparse.ArgumentParser:
         "independent tasks (SPIDER, DUCC, FUN); the holistic algorithms "
         "are single search processes and run with one",
     )
+    sampling_group = parser.add_mutually_exclusive_group()
+    sampling_group.add_argument(
+        "--sampling",
+        dest="sampling",
+        action="store_true",
+        default=True,
+        help="enable the sampling-driven refutation engine (default): "
+        "candidates refuted by a small row sample skip their exact PLI "
+        "check; sampling only refutes, never accepts, so results are "
+        "exact either way",
+    )
+    sampling_group.add_argument(
+        "--no-sampling",
+        dest="sampling",
+        action="store_false",
+        help="disable sample-based refutation; every candidate is "
+        "validated on the exact PLI path",
+    )
     parser.add_argument(
         "--result-cache",
         metavar="DIR",
@@ -243,7 +261,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     if algorithm == "auto":
         algorithm = choose_algorithm(relation)
     cache = _open_result_cache(args, budget)
-    cache_config = {"seed": args.seed, "as_published": args.as_published}
+    # ``sampling`` is part of the key for counter transparency only —
+    # discovered metadata is exact (thus identical) in both modes.
+    cache_config = {
+        "seed": args.seed,
+        "as_published": args.as_published,
+        "sampling": args.sampling,
+    }
 
     result = None
     if cache is not None:
@@ -279,6 +303,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                     seed=args.seed,
                     verify_completeness=not args.as_published,
                     jobs=args.jobs,
+                    sampling=args.sampling,
                 )
             if cache is not None:
                 try:

@@ -47,6 +47,7 @@ from ..guard import Budget, BudgetExceeded, active_budget, guarded
 from ..metadata.results import ProfilingResult
 from ..pli.store import PliStore
 from ..relation.relation import Relation
+from ..sampling import SamplingConfig
 
 __all__ = ["BaselineProfiler", "SequentialBaseline", "BASELINE_TASKS"]
 
@@ -55,7 +56,11 @@ BASELINE_TASKS = ("spider", "ducc", "fun")
 
 
 def _baseline_task(
-    task: str, relation: Relation, seed: int, budget: Budget | None
+    task: str,
+    relation: Relation,
+    seed: int,
+    budget: Budget | None,
+    sampling: SamplingConfig | bool | None = None,
 ) -> dict[str, Any]:
     """Run one baseline task standalone; the concurrent mode's worker.
 
@@ -66,7 +71,7 @@ def _baseline_task(
     the process boundary carries exactly what the parent assembles into a
     :class:`ProfilingResult`.
     """
-    store = PliStore()
+    store = PliStore(sampling=sampling)
     index = store.index_for(relation)
     out: dict[str, Any] = {"task": task, "status": "ok", "error": None}
     started = time.perf_counter()
@@ -114,16 +119,25 @@ class BaselineProfiler:
         ``None``/``1`` for the paper's sequential execution; ``>=2`` to
         run the three tasks in separate processes (capped at three — more
         workers than tasks buys nothing).
+    sampling:
+        Sampling-driven refutation configuration.  Applies to the private
+        sequential store (an explicit ``store`` keeps its own setting) and
+        is shipped to every concurrent worker's store.
     """
 
     def __init__(
-        self, seed: int = 0, store: PliStore | None = None, jobs: int | None = None
+        self,
+        seed: int = 0,
+        store: PliStore | None = None,
+        jobs: int | None = None,
+        sampling: SamplingConfig | bool | None = None,
     ):
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.seed = seed
-        self.store = store or PliStore()
+        self.store = store or PliStore(sampling=sampling)
         self.jobs = jobs
+        self.sampling = sampling
         #: Sum of per-task runtimes of the last run (the paper's metric).
         self.sum_of_task_seconds: float | None = None
         #: Wall clock of the last run (== sum sequentially; the slowest
@@ -233,7 +247,12 @@ class BaselineProfiler:
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     futures = {
                         task: pool.submit(
-                            _baseline_task, task, relation, self.seed, budget
+                            _baseline_task,
+                            task,
+                            relation,
+                            self.seed,
+                            budget,
+                            self.sampling,
                         )
                         for task in BASELINE_TASKS
                     }
@@ -301,8 +320,13 @@ class BaselineProfiler:
 class SequentialBaseline(BaselineProfiler):
     """The paper's sequential baseline (kept as the historical name)."""
 
-    def __init__(self, seed: int = 0, store: PliStore | None = None):
-        super().__init__(seed=seed, store=store, jobs=None)
+    def __init__(
+        self,
+        seed: int = 0,
+        store: PliStore | None = None,
+        sampling: SamplingConfig | bool | None = None,
+    ):
+        super().__init__(seed=seed, store=store, jobs=None, sampling=sampling)
 
 
 def _active_budget_copy() -> Budget | None:

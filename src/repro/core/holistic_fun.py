@@ -21,15 +21,25 @@ from ..guard import BudgetExceeded
 from ..metadata.results import ProfilingResult
 from ..pli.store import PliStore
 from ..relation.relation import Relation
+from ..sampling import SamplingConfig
 
 __all__ = ["HolisticFun"]
 
 
 class HolisticFun:
-    """Holistic FUN profiler: one input pass, three result sets."""
+    """Holistic FUN profiler: one input pass, three result sets.
 
-    def __init__(self, store: PliStore | None = None):
-        self.store = store or PliStore()
+    ``sampling`` configures the refutation engine of the private store
+    (``None``/``True`` default, ``False`` off); an explicit ``store``
+    keeps its own setting.
+    """
+
+    def __init__(
+        self,
+        store: PliStore | None = None,
+        sampling: SamplingConfig | bool | None = None,
+    ):
+        self.store = store or PliStore(sampling=sampling)
 
     def profile(self, relation: Relation) -> ProfilingResult:
         """Profile a relation: shared read/PLI pass, SPIDER, then FUN with
@@ -65,11 +75,11 @@ class HolisticFun:
                     else FunResult([], [], 0, 0, 0)
                 )
                 error.partial_result = self._to_result(
-                    relation, inds, partial, phase_seconds
+                    relation, inds, partial, phase_seconds, index
                 )
             raise
 
-        return self._to_result(relation, inds, fun_result, phase_seconds)
+        return self._to_result(relation, inds, fun_result, phase_seconds, index)
 
     @staticmethod
     def _to_result(
@@ -77,7 +87,17 @@ class HolisticFun:
         inds: list[tuple[int, int]],
         fun_result: FunResult,
         phase_seconds: dict[str, float],
+        index=None,
     ) -> ProfilingResult:
+        counters = {
+            "fd_checks": fun_result.fd_checks,
+            "pli_intersections": fun_result.intersections,
+            "free_sets": fun_result.free_sets,
+        }
+        if index is not None and index.planner is not None:
+            for key, value in index.planner.stats().items():
+                if isinstance(value, int):
+                    counters[key] = value
         return ProfilingResult.from_masks(
             relation_name=relation.name,
             column_names=relation.column_names,
@@ -85,9 +105,5 @@ class HolisticFun:
             ucc_masks=fun_result.minimal_uccs,
             fd_pairs=fun_result.fds,
             phase_seconds=phase_seconds,
-            counters={
-                "fd_checks": fun_result.fd_checks,
-                "pli_intersections": fun_result.intersections,
-                "free_sets": fun_result.free_sets,
-            },
+            counters=counters,
         )

@@ -13,6 +13,7 @@ from __future__ import annotations
 from .. import trace as _trace
 from ..metadata.results import ProfilingResult
 from ..relation.relation import Relation
+from ..sampling import SamplingConfig
 from .baseline import BaselineProfiler
 from .holistic_fun import HolisticFun
 from .muds import Muds
@@ -40,6 +41,7 @@ def profile(
     seed: int = 0,
     verify_completeness: bool = True,
     jobs: int | None = None,
+    sampling: SamplingConfig | bool | None = None,
 ) -> ProfilingResult:
     """Discover all unary INDs, minimal UCCs, and minimal FDs of a relation.
 
@@ -62,6 +64,11 @@ def profile(
         three tasks (SPIDER, DUCC, FUN) are independent by definition;
         ``None``/``1`` keeps the paper's sequential execution.  The
         holistic algorithms are single search processes and ignore it.
+    sampling:
+        Sampling-driven refutation engine: ``None``/``True`` enables the
+        default two-stage validation (row-sample refutation before exact
+        PLI checks — results stay exact either way), ``False`` disables
+        it, a :class:`~repro.sampling.SamplingConfig` tunes it.
 
     Returns
     -------
@@ -81,8 +88,12 @@ def profile(
     ):
         if algorithm == "muds":
             return Muds(
-                seed=seed, verify_completeness=verify_completeness
+                seed=seed,
+                verify_completeness=verify_completeness,
+                sampling=sampling,
             ).profile(relation)
         if algorithm == "holistic_fun":
-            return HolisticFun().profile(relation)
-        return BaselineProfiler(seed=seed, jobs=jobs).profile(relation)
+            return HolisticFun(sampling=sampling).profile(relation)
+        return BaselineProfiler(
+            seed=seed, jobs=jobs, sampling=sampling
+        ).profile(relation)

@@ -30,6 +30,7 @@ __all__ = [
     "CSV_READ",
     "CACHE_PUT",
     "PROFILER_STEP",
+    "SAMPLING_HARVEST",
     "FAULT_POINTS",
     "FaultInjected",
     "FaultRegistry",
@@ -43,9 +44,12 @@ CACHE_PUT = "cache.put"
 #: Fault point hit at every cooperative :func:`repro.guard.checkpoint`
 #: (the lattice loops of all profiling algorithms).
 PROFILER_STEP = "profiler.step"
+#: Fault point hit once per row selected by the sampling engine's
+#: violation harvester (:func:`repro.sampling.harvester.focused_sample`).
+SAMPLING_HARVEST = "sampling.harvest"
 
 #: Every fault point compiled into the substrate.
-FAULT_POINTS = (CSV_READ, CACHE_PUT, PROFILER_STEP)
+FAULT_POINTS = (CSV_READ, CACHE_PUT, PROFILER_STEP, SAMPLING_HARVEST)
 
 
 class FaultInjected(RuntimeError):

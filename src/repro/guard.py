@@ -160,6 +160,20 @@ class Budget:
         """Wall-clock seconds since the last :meth:`start`."""
         return time.perf_counter() - self._started_at
 
+    @property
+    def remaining_seconds(self) -> float | None:
+        """Seconds left before the deadline (``None`` without one).
+
+        May be negative once the deadline has passed but no checkpoint
+        has fired yet.  Optional work — e.g. the sampling engine's
+        violation harvest — consults this to skip itself when the budget
+        is nearly exhausted, so an optimization never converts an ``ok``
+        run into a ``timeout``.
+        """
+        if self.deadline_seconds is None:
+            return None
+        return self._deadline_at - time.perf_counter()
+
     # -- enforcement -------------------------------------------------------
 
     def checkpoint(self) -> None:

@@ -37,6 +37,7 @@ from ..metadata.results import ProfilingResult, fd_signature, ucc_signature
 from ..metadata.serialize import result_from_dict, result_to_dict
 from ..pli.pli import KERNEL_STATS
 from ..relation.relation import Relation
+from ..sampling import SamplingConfig
 from .result_cache import ResultCache
 
 __all__ = [
@@ -424,12 +425,18 @@ def _empty_result(relation: Relation) -> ProfilingResult:
     )
 
 
-def default_framework(seed: int = 0, faithful_muds: bool = True) -> Framework:
+def default_framework(
+    seed: int = 0,
+    faithful_muds: bool = True,
+    sampling: "SamplingConfig | bool | None" = None,
+) -> Framework:
     """Framework with the paper's four contenders registered.
 
     ``faithful_muds`` selects the as-published MUDS configuration
     (``verify_completeness=False``) used for benchmark comparisons; pass
     ``False`` to benchmark the exactness-certifying default instead.
+    ``sampling`` configures every contender's refutation engine uniformly
+    (``None``/``True`` default on, ``False`` off).
     """
     from ..algorithms.tane import TaneResult, tane
     from ..pli.store import PliStore
@@ -438,7 +445,7 @@ def default_framework(seed: int = 0, faithful_muds: bool = True) -> Framework:
         """TANE wrapped as a (FD-only) profiler for Table 3 comparisons."""
 
         def __init__(self) -> None:
-            self.store = PliStore()
+            self.store = PliStore(sampling=sampling)
 
         def profile(self, relation: Relation) -> ProfilingResult:
             index = self.store.index_for(relation)
@@ -468,10 +475,17 @@ def default_framework(seed: int = 0, faithful_muds: bool = True) -> Framework:
             )
 
     framework = Framework()
-    framework.register("baseline", lambda: SequentialBaseline(seed=seed))
-    framework.register("hfun", lambda: HolisticFun())
     framework.register(
-        "muds", lambda: Muds(seed=seed, verify_completeness=not faithful_muds)
+        "baseline", lambda: SequentialBaseline(seed=seed, sampling=sampling)
+    )
+    framework.register("hfun", lambda: HolisticFun(sampling=sampling))
+    framework.register(
+        "muds",
+        lambda: Muds(
+            seed=seed,
+            verify_completeness=not faithful_muds,
+            sampling=sampling,
+        ),
     )
     framework.register("tane", lambda: _TaneProfiler(), fd_only=True)
     return framework

@@ -25,6 +25,7 @@ from typing import Any
 from ..guard import checkpoint
 from ..relation.columnset import bit, iter_bits, lowest_bit
 from ..relation.relation import Relation
+from ..sampling import SamplingConfig, ValidationPlanner, resolve_sampling
 from .cache import PliCache
 from .pli import PLI
 
@@ -40,9 +41,19 @@ class RelationIndex:
         The (ideally duplicate-free, see §3) input relation.
     cache_capacity:
         Bound on memoized composite PLIs; single columns are always kept.
+    sampling:
+        Sampling-driven refutation engine configuration (``None``/``True``
+        for the default, ``False`` to disable).  When enabled, the check
+        methods consult the engine's row sample before paying for PLI
+        intersections — refutation only, so results are exact either way.
     """
 
-    def __init__(self, relation: Relation, cache_capacity: int = 4096):
+    def __init__(
+        self,
+        relation: Relation,
+        cache_capacity: int = 4096,
+        sampling: SamplingConfig | bool | None = None,
+    ):
         self.relation = relation
         self.n_rows = relation.n_rows
         self.n_columns = relation.n_columns
@@ -53,6 +64,11 @@ class RelationIndex:
         self.intersections = 0
         self.fd_checks = 0
         self.uniqueness_checks = 0
+        config = resolve_sampling(sampling)
+        #: Stage-1 refutation seam (None when sampling is disabled).
+        self.planner: ValidationPlanner | None = (
+            ValidationPlanner(self, config) if config is not None else None
+        )
 
         for column_index in range(self.n_columns):
             values = relation.column(column_index)
@@ -141,6 +157,15 @@ class RelationIndex:
         checkpoint()
         if mask == 0:
             return self.n_rows <= 1
+        # Stage 1: a sampled duplicate refutes the UCC without touching
+        # the PLI path.  Only consulted when the exact PLI is not already
+        # memoized (a cached exact answer is cheaper than a sample scan).
+        if (
+            self.planner is not None
+            and self.cache.peek(mask) is None
+            and self.planner.refutes_ucc(mask)
+        ):
+            return False
         return self.pli(mask).is_unique
 
     def check_fd(self, lhs_mask: int, rhs_index: int) -> bool:
@@ -152,9 +177,22 @@ class RelationIndex:
         checkpoint()
         rhs_vector = self._vectors[rhs_index]
         if lhs_mask == 0:
+            if self.planner is not None and self.planner.refutes_fd(
+                0, rhs_index
+            ):
+                return False
             return len(set(rhs_vector)) <= 1
         if lhs_mask >> rhs_index & 1:
             return True  # trivial FD
+        # Stage 1: two sampled rows agreeing on lhs but not rhs refute the
+        # FD before any intersection is paid for (see is_unique for the
+        # cache gating rationale).
+        if (
+            self.planner is not None
+            and self.cache.peek(lhs_mask) is None
+            and self.planner.refutes_fd(lhs_mask, rhs_index)
+        ):
+            return False
         return self.pli(lhs_mask).refines(rhs_vector)
 
     def valid_rhs(self, lhs_mask: int, candidates_mask: int) -> int:
@@ -162,20 +200,33 @@ class RelationIndex:
 
         Batch form of :meth:`check_fd`; a single PLI is reused across all
         candidate right-hand sides (this is what makes grouped checks in
-        MUDS' minimization cheap).
+        MUDS' minimization cheap).  With sampling enabled the PLI is built
+        lazily — when the sample refutes every candidate, no intersection
+        happens at all.
         """
         valid = 0
         checkpoint()
+        planner = self.planner
         if lhs_mask == 0:
             for rhs in iter_bits(candidates_mask):
+                self.fd_checks += 1
+                if planner is not None and planner.refutes_fd(0, rhs):
+                    continue
                 if len(set(self._vectors[rhs])) <= 1:
                     valid |= bit(rhs)
-                self.fd_checks += 1
             return valid
-        pli = self.pli(lhs_mask)
+        consult = planner is not None and self.cache.peek(lhs_mask) is None
+        pli: PLI | None = None
         for rhs in iter_bits(candidates_mask):
             self.fd_checks += 1
-            if lhs_mask >> rhs & 1 or pli.refines(self._vectors[rhs]):
+            if lhs_mask >> rhs & 1:
+                valid |= bit(rhs)
+                continue
+            if consult and planner.refutes_fd(lhs_mask, rhs):
+                continue
+            if pli is None:
+                pli = self.pli(lhs_mask)
+            if pli.refines(self._vectors[rhs]):
                 valid |= bit(rhs)
         return valid
 
@@ -190,6 +241,8 @@ class RelationIndex:
             "uniqueness_checks": self.uniqueness_checks,
         }
         counters.update(self.cache.stats())
+        if self.planner is not None:
+            counters.update(self.planner.stats())
         return counters
 
     def __repr__(self) -> str:

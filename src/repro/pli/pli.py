@@ -62,18 +62,28 @@ class KernelStats:
     accounting of the shared substrate.
     """
 
-    __slots__ = ("intersections", "probe_builds", "probe_reuses")
+    __slots__ = (
+        "intersections",
+        "probe_builds",
+        "probe_reuses",
+        "refine_calls",
+        "refine_cluster_scans",
+    )
 
     def __init__(self) -> None:
         self.intersections = 0
         self.probe_builds = 0
         self.probe_reuses = 0
+        self.refine_calls = 0
+        self.refine_cluster_scans = 0
 
     def reset(self) -> None:
         """Zero all counters (tests and benchmark isolation)."""
         self.intersections = 0
         self.probe_builds = 0
         self.probe_reuses = 0
+        self.refine_calls = 0
+        self.refine_cluster_scans = 0
 
     def snapshot(self) -> dict[str, int]:
         """Current counter values as a plain dict."""
@@ -81,6 +91,8 @@ class KernelStats:
             "pli_intersections": self.intersections,
             "probe_builds": self.probe_builds,
             "probe_reuses": self.probe_reuses,
+            "refine_calls": self.refine_calls,
+            "refine_cluster_scans": self.refine_cluster_scans,
         }
 
     def delta(self, before: Mapping[str, int]) -> dict[str, int]:
@@ -301,11 +313,22 @@ class PLI:
                 f"probe vector has {len(vector)} entries but the PLI spans "
                 f"{self.n_rows} rows"
             )
+        # ``scanned`` is accounted at cluster granularity and added to the
+        # kernel stats exactly once per call (not per row) so the abort
+        # position stays observable without a per-row counter increment on
+        # this hot loop.  A False return on the k-th cluster leaves
+        # ``refine_cluster_scans`` at k: the first violation ends the scan.
+        stats = KERNEL_STATS
+        stats.refine_calls += 1
+        scanned = 0
         for cluster in self.clusters:
+            scanned += 1
             first = vector[cluster[0]]
             for row in cluster[1:]:
                 if vector[row] != first:
+                    stats.refine_cluster_scans += scanned
                     return False
+        stats.refine_cluster_scans += scanned
         return True
 
     def to_vector(self, singleton_id: int = -1) -> list[int]:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from .. import trace as _trace
 from ..relation.relation import Relation
+from ..sampling import SamplingConfig
 from .index import RelationIndex
 
 __all__ = ["PliStore"]
@@ -34,10 +35,18 @@ class PliStore:
     cache_capacity:
         Forwarded to every :class:`RelationIndex` this store builds
         (bound on memoized composite PLIs; single columns always kept).
+    sampling:
+        Sampling-driven refutation configuration forwarded to every index
+        (``None``/``True`` for the default engine, ``False`` to disable).
     """
 
-    def __init__(self, cache_capacity: int = 4096):
+    def __init__(
+        self,
+        cache_capacity: int = 4096,
+        sampling: SamplingConfig | bool | None = None,
+    ):
         self.cache_capacity = cache_capacity
+        self.sampling = sampling
         self._indexes: dict[int, tuple[Relation, RelationIndex]] = {}
         #: Index builds performed (one per distinct relation seen).
         self.builds = 0
@@ -67,7 +76,11 @@ class PliStore:
             columns=relation.n_columns,
             rows=relation.n_rows,
         ):
-            index = RelationIndex(relation, cache_capacity=self.cache_capacity)
+            index = RelationIndex(
+                relation,
+                cache_capacity=self.cache_capacity,
+                sampling=self.sampling,
+            )
         self._indexes[id(relation)] = (relation, index)
         self.builds += 1
         tracer = _trace.ACTIVE

@@ -1,0 +1,260 @@
+"""The two-stage validation seam consulted by the PLI substrate.
+
+A :class:`ValidationPlanner` sits next to the shared
+:class:`~repro.pli.index.RelationIndex` (one planner per index, created
+by the index when sampling is enabled) and answers one question: *can
+this candidate be refuted without exact PLI work?*  Stage 1 lazily
+harvests the relation's violation sample on the first query; stage 2 —
+the exact path — is whatever the caller does when the answer is "no".
+
+Cooperation with the execution guards: harvesting is skipped when the
+active :class:`~repro.guard.Budget` has less deadline left than
+``config.min_harvest_seconds`` (the engine then refutes nothing, which is
+always safe), so sampling can never convert an ``ok`` run into a
+``timeout``.  The decision is made once per planner — a deadline-pressed
+run stays on the exact path throughout.
+
+Trace surface (all behind the usual ``ACTIVE is None`` guard): a
+``sampling.harvest`` span around stage 1, a ``sampling.bypass`` event
+when the deadline guard fires, and ``sampling.fd_refuted`` /
+``sampling.ucc_refuted`` / ``sampling.ind_refuted`` /
+``sampling.exact_avoided`` counters per refutation.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+from .. import guard as _guard
+from .. import trace as _trace
+from .harvester import SamplingConfig, focused_sample
+from .refutation import RefutationIndex
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..pli.index import RelationIndex
+
+__all__ = ["ValidationPlanner"]
+
+
+class ValidationPlanner:
+    """Per-index refutation front end with lazy, guarded harvesting."""
+
+    __slots__ = (
+        "index",
+        "config",
+        "bypassed",
+        "harvest_rows",
+        "harvest_seconds",
+        "fd_queries",
+        "fd_refuted",
+        "ucc_queries",
+        "ucc_refuted",
+        "ind_queries",
+        "ind_refuted",
+        "_refutation",
+        "_attempted",
+    )
+
+    def __init__(self, index: "RelationIndex", config: SamplingConfig):
+        self.index = index
+        self.config = config
+        #: True when the deadline guard skipped the harvest for this run.
+        self.bypassed = False
+        self.harvest_rows = 0
+        self.harvest_seconds = 0.0
+        self.fd_queries = 0
+        self.fd_refuted = 0
+        self.ucc_queries = 0
+        self.ucc_refuted = 0
+        self.ind_queries = 0
+        self.ind_refuted = 0
+        self._refutation: RefutationIndex | None = None
+        self._attempted = False
+
+    # -- stage 1: harvest --------------------------------------------------
+
+    def refutation(self) -> RefutationIndex | None:
+        """The harvested refutation index, built on first use.
+
+        Returns ``None`` (and permanently passes every candidate through
+        to the exact path) when the deadline guard fires or the relation
+        is too small to sample.  Harvesting happens at most once per
+        planner; a harvest aborted by an injected fault is not retried
+        and leaves no partial evidence behind.
+        """
+        refutation = self._refutation
+        if refutation is not None:
+            return refutation
+        if self._attempted:
+            return None
+        self._attempted = True
+        budget = _guard.ACTIVE
+        if budget is not None:
+            remaining = budget.remaining_seconds
+            if (
+                remaining is not None
+                and remaining < self.config.min_harvest_seconds
+            ):
+                self.bypassed = True
+                tracer = _trace.ACTIVE
+                if tracer is not None:
+                    tracer.event(
+                        "sampling.bypass",
+                        reason="deadline",
+                        remaining_seconds=remaining,
+                    )
+                return None
+        index = self.index
+        started = time.perf_counter()
+        with _trace.span(
+            "sampling.harvest",
+            relation=index.relation.name,
+            rows=index.n_rows,
+            max_rows=self.config.max_rows,
+        ) as span:
+            rows = focused_sample(index, self.config)
+            refutation = RefutationIndex(
+                rows, [index.vector(c) for c in range(index.n_columns)]
+            )
+            span.set(sample_rows=len(rows))
+        self.harvest_seconds = time.perf_counter() - started
+        self.harvest_rows = len(rows)
+        tracer = _trace.ACTIVE
+        if tracer is not None and rows:
+            tracer.count("sampling.harvest_rows", len(rows))
+        self._refutation = refutation
+        return refutation
+
+    # -- stage 1 queries ---------------------------------------------------
+
+    def refutes_fd(self, lhs_mask: int, rhs_index: int) -> bool:
+        """Sound sample refutation of ``lhs → rhs``; False means "go
+        exact", never "valid"."""
+        refutation = self.refutation()
+        if refutation is None:
+            return False
+        self.fd_queries += 1
+        if refutation.refutes_fd(lhs_mask, rhs_index):
+            self.fd_refuted += 1
+            tracer = _trace.ACTIVE
+            if tracer is not None:
+                tracer.count("sampling.fd_refuted")
+                tracer.count("sampling.exact_avoided")
+            return True
+        return False
+
+    def refuted_rhs(self, lhs_mask: int, rhs_mask: int) -> int:
+        """Batched :meth:`refutes_fd` over every rhs bit in ``rhs_mask``
+        (one sample scan per lattice node instead of one per rhs); the
+        returned bitmask marks sample-refuted right-hand sides."""
+        refutation = self.refutation()
+        if refutation is None:
+            return 0
+        self.fd_queries += (rhs_mask & ~lhs_mask).bit_count()
+        refuted = refutation.refuted_rhs(lhs_mask, rhs_mask)
+        hits = refuted.bit_count()
+        if hits:
+            self.fd_refuted += hits
+            tracer = _trace.ACTIVE
+            if tracer is not None:
+                tracer.count("sampling.fd_refuted", hits)
+                tracer.count("sampling.exact_avoided", hits)
+        return refuted
+
+    def refutes_ucc(self, mask: int) -> bool:
+        """Sound sample refutation of a UCC candidate; False means "go
+        exact", never "unique"."""
+        refutation = self.refutation()
+        if refutation is None:
+            return False
+        self.ucc_queries += 1
+        if refutation.refutes_ucc(mask):
+            self.ucc_refuted += 1
+            tracer = _trace.ACTIVE
+            if tracer is not None:
+                tracer.count("sampling.ucc_refuted")
+                tracer.count("sampling.exact_avoided")
+            return True
+        return False
+
+    def prefilter_ind_refs(
+        self, value_lists: Sequence[Sequence[str]]
+    ) -> list[int] | None:
+        """SPIDER's sampled value-probe prefilter.
+
+        For each dependent attribute, probes up to
+        ``config.ind_probe_values`` seeded-sampled values against the
+        *full* value set of every other attribute; a missing value is an
+        exact witness against the IND, and the returned per-attribute
+        reference masks start the merge phase with those pairs already
+        cleared.  Returns ``None`` when the engine is bypassed.
+        """
+        if self.refutation() is None:
+            return None
+        rng = random.Random(self.config.seed)
+        n = len(value_lists)
+        all_attrs = (1 << n) - 1
+        value_sets = [set(values) for values in value_lists]
+        refs: list[int] = []
+        refuted_before = self.ind_refuted
+        with _trace.span("sampling.ind_prefilter", columns=n) as span:
+            for dependent, values in enumerate(value_lists):
+                mask = all_attrs & ~(1 << dependent)
+                k = min(self.config.ind_probe_values, len(values))
+                probes = (
+                    rng.sample(values, k) if k < len(values) else list(values)
+                )
+                for referenced in range(n):
+                    if referenced == dependent:
+                        continue
+                    self.ind_queries += 1
+                    members = value_sets[referenced]
+                    for value in probes:
+                        if value not in members:
+                            mask &= ~(1 << referenced)
+                            self.ind_refuted += 1
+                            break
+                refs.append(mask)
+            refuted = self.ind_refuted - refuted_before
+            span.set(refuted=refuted)
+        tracer = _trace.ACTIVE
+        if tracer is not None and refuted:
+            tracer.count("sampling.ind_refuted", refuted)
+            tracer.count("sampling.exact_avoided", refuted)
+        return refs
+
+    # -- accounting --------------------------------------------------------
+
+    def stats(self) -> dict[str, int | float]:
+        """Engine counters for harness reporting (candidates refuted,
+        harvest cost, exact checks avoided)."""
+        return {
+            "sampling_rows": self.harvest_rows,
+            "sampling_harvest_seconds": self.harvest_seconds,
+            "sampling_bypassed": int(self.bypassed),
+            "sampling_fd_queries": self.fd_queries,
+            "sampling_fd_refuted": self.fd_refuted,
+            "sampling_ucc_queries": self.ucc_queries,
+            "sampling_ucc_refuted": self.ucc_refuted,
+            "sampling_ind_queries": self.ind_queries,
+            "sampling_ind_refuted": self.ind_refuted,
+            "sampling_exact_avoided": (
+                self.fd_refuted + self.ucc_refuted + self.ind_refuted
+            ),
+        }
+
+    def __repr__(self) -> str:
+        state = (
+            "bypassed"
+            if self.bypassed
+            else f"{self.harvest_rows} sampled rows"
+            if self._refutation is not None
+            else "not harvested"
+        )
+        return (
+            f"ValidationPlanner({state}, fd_refuted={self.fd_refuted}, "
+            f"ucc_refuted={self.ucc_refuted}, ind_refuted={self.ind_refuted})"
+        )

@@ -544,6 +544,21 @@ DEFAULT_SCHEMA: dict[str, Any] = {
             "optional": {"span": "int|null", "seconds": "float"},
         },
     },
+    # Informative registry of well-known event names (not exhaustive —
+    # validation keys off event_types only, so unknown names still pass).
+    "names": {
+        "sampling": {
+            "spans": ["sampling.harvest", "sampling.ind_prefilter"],
+            "counters": [
+                "sampling.harvest_rows",
+                "sampling.fd_refuted",
+                "sampling.ucc_refuted",
+                "sampling.ind_refuted",
+                "sampling.exact_avoided",
+            ],
+            "events": ["sampling.bypass"],
+        },
+    },
 }
 
 _TYPE_CHECKS = {

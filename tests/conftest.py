@@ -45,6 +45,64 @@ def column_masks(max_columns: int = 8) -> st.SearchStrategy[int]:
     return st.integers(0, (1 << max_columns) - 1)
 
 
+# -- seeded random-relation generators ----------------------------------------
+#
+# Shared by the metamorphic and sampling-differential suites (stdlib
+# ``random``; each case is tiny and its seed is printed in the test id, so
+# hypothesis shrinking buys nothing here).
+
+
+def random_relation(
+    rng: random.Random,
+    tag: str,
+    max_columns: int = 5,
+    max_rows: int = 12,
+    max_domain: int = 4,
+) -> Relation:
+    """A small random relation with duplicate-free rows.
+
+    Duplicate-free bases keep metamorphic transforms orthogonal: only
+    explicit duplicate injection exercises multiplicity.  Small domains
+    maximize FD/UCC/IND density per table.
+    """
+    n_columns = rng.randint(1, max_columns)
+    n_rows = rng.randint(0, max_rows)
+    seen: set[tuple[int, ...]] = set()
+    rows: list[tuple[int, ...]] = []
+    for _ in range(n_rows):
+        row = tuple(rng.randint(0, max_domain) for _ in range(n_columns))
+        if row not in seen:
+            seen.add(row)
+            rows.append(row)
+    names = [chr(ord("A") + i) for i in range(n_columns)]
+    return Relation.from_rows(names, rows, name=tag)
+
+
+def permute_rows(relation: Relation, rng: random.Random) -> Relation:
+    rows = list(relation.iter_rows())
+    rng.shuffle(rows)
+    return Relation.from_rows(
+        list(relation.column_names), rows, name=f"{relation.name}/rowperm"
+    )
+
+
+def permute_columns(relation: Relation, rng: random.Random) -> Relation:
+    order = list(range(relation.n_columns))
+    rng.shuffle(order)
+    names = [relation.column_names[i] for i in order]
+    rows = [tuple(row[i] for i in order) for row in relation.iter_rows()]
+    return Relation.from_rows(names, rows, name=f"{relation.name}/colperm")
+
+
+def inject_duplicates(relation: Relation, rng: random.Random) -> Relation:
+    rows = list(relation.iter_rows())
+    rows += [rows[rng.randrange(len(rows))] for _ in range(rng.randint(1, 3))]
+    rng.shuffle(rows)
+    return Relation.from_rows(
+        list(relation.column_names), rows, name=f"{relation.name}/dup"
+    )
+
+
 # -- helpers ---------------------------------------------------------------
 
 

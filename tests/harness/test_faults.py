@@ -9,6 +9,7 @@ from repro.faults import (
     CSV_READ,
     FAULT_POINTS,
     PROFILER_STEP,
+    SAMPLING_HARVEST,
     FAULTS,
     FaultInjected,
     FaultRegistry,
@@ -119,7 +120,9 @@ class TestHarnessContainment:
     recorded-but-running: a failed cell or point-level error, no
     propagation."""
 
-    @pytest.mark.parametrize("point", [CACHE_PUT, PROFILER_STEP])
+    @pytest.mark.parametrize(
+        "point", [CACHE_PUT, PROFILER_STEP, SAMPLING_HARVEST]
+    )
     def test_algorithm_fault_becomes_err_cell(self, point):
         FAULTS.arm(point, at=1)
         framework = default_framework()
@@ -149,4 +152,9 @@ class TestHarnessContainment:
     def test_every_point_is_exercised_somewhere(self):
         # Guard against new fault points being added without containment
         # coverage: this class must be extended alongside FAULT_POINTS.
-        assert set(FAULT_POINTS) == {CSV_READ, CACHE_PUT, PROFILER_STEP}
+        assert set(FAULT_POINTS) == {
+            CSV_READ,
+            CACHE_PUT,
+            PROFILER_STEP,
+            SAMPLING_HARVEST,
+        }

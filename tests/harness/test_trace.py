@@ -214,6 +214,46 @@ def test_checked_in_schema_matches_builtin():
         assert json.load(handle) == trace.DEFAULT_SCHEMA
 
 
+def test_schema_registers_sampling_names():
+    names = trace.DEFAULT_SCHEMA["names"]["sampling"]
+    assert names["spans"] == ["sampling.harvest", "sampling.ind_prefilter"]
+    assert names["counters"] == [
+        "sampling.harvest_rows",
+        "sampling.fd_refuted",
+        "sampling.ucc_refuted",
+        "sampling.ind_refuted",
+        "sampling.exact_avoided",
+    ]
+    assert names["events"] == ["sampling.bypass"]
+
+
+def test_sampling_events_validate_and_surface_in_trace():
+    """A sampled profile emits the registered sampling.* events and the
+    full trace still validates against the default schema."""
+    from repro.core.profiler import profile
+    from repro.datasets.generators import uniprot_like
+
+    tracer = trace.enable()
+    try:
+        profile(uniprot_like(200, seed=1), algorithm="muds", sampling=True)
+    finally:
+        trace.disable()
+    validate_events(tracer.events)
+    names = {record["name"] for record in tracer.events}
+    assert "sampling.harvest" in names
+    assert "sampling.ind_prefilter" in names
+    # count() upserts into span counters (no standalone event), so the
+    # counter names surface on the enclosing end records.
+    counter_names = {
+        name
+        for record in tracer.events
+        if record["type"] == "end"
+        for name in record["counters"]
+    }
+    assert "sampling.harvest_rows" in counter_names
+    assert "sampling.exact_avoided" in counter_names
+
+
 def test_validate_rejects_malformed_events():
     with pytest.raises(ValueError, match="unknown type"):
         validate_events([{"type": "bogus"}])

@@ -226,7 +226,61 @@ def test_kernel_stats_delta_brackets_a_run():
         "pli_intersections": 1,
         "probe_builds": 1,
         "probe_reuses": 0,
+        "refine_calls": 0,
+        "refine_cluster_scans": 0,
     }
     # Missing keys in the snapshot count from zero (forward-compatible
     # bracketing across counter additions).
     assert KERNEL_STATS.delta({})["pli_intersections"] >= 1
+
+
+class TestRefinesEarlyAbort:
+    """Regression: ``refines`` must stop at the first violating cluster.
+
+    Pinned through the kernel's cluster-scan counter (added once per
+    call, at cluster granularity) plus a counting probe vector — a
+    full-scan regression would show up in both.
+    """
+
+    def test_violation_in_first_cluster_scans_one_cluster(self):
+        # Clusters (0,1), (2,3), (4,5); the very first cluster violates.
+        pli = pli_from_column(["a", "a", "b", "b", "c", "c"])
+        vector = [0, 1, 2, 2, 3, 3]
+        before = KERNEL_STATS.snapshot()
+        assert not pli.refines(vector)
+        delta = KERNEL_STATS.delta(before)
+        assert delta["refine_calls"] == 1
+        assert delta["refine_cluster_scans"] == 1
+
+    def test_valid_fd_scans_every_cluster(self):
+        pli = pli_from_column(["a", "a", "b", "b", "c", "c"])
+        vector = [7, 7, 8, 8, 9, 9]
+        before = KERNEL_STATS.snapshot()
+        assert pli.refines(vector)
+        assert KERNEL_STATS.delta(before)["refine_cluster_scans"] == len(
+            pli.clusters
+        )
+
+    def test_violation_in_kth_cluster_stops_there(self):
+        pli = pli_from_column(["a", "a", "b", "b", "c", "c"])
+        vector = [7, 7, 8, 9, 0, 0]  # second cluster violates
+        before = KERNEL_STATS.snapshot()
+        assert not pli.refines(vector)
+        assert KERNEL_STATS.delta(before)["refine_cluster_scans"] == 2
+
+    def test_first_violation_stops_vector_reads(self):
+        """Row-granular proof: an immediate violation reads exactly the
+        two probe-vector entries that witness it."""
+
+        class CountingVector(list):
+            reads = 0
+
+            def __getitem__(self, item):
+                CountingVector.reads += 1
+                return super().__getitem__(item)
+
+        pli = pli_from_column(["a"] * 50 + ["b"] * 50)
+        vector = CountingVector([0, 1] + [2] * 48 + [3] * 50)
+        CountingVector.reads = 0
+        assert not pli.refines(vector)
+        assert CountingVector.reads == 2

@@ -1,0 +1,140 @@
+"""ValidationPlanner: lazy harvest, intersection savings, deadline guard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser
+from repro.core.muds import Muds
+from repro.datasets.generators import uniprot_like
+from repro.guard import Budget, guarded
+from repro.pli.index import RelationIndex
+from repro.pli.store import PliStore
+from repro.relation.relation import Relation
+from repro.sampling import SamplingConfig, ValidationPlanner
+
+
+def _relation() -> Relation:
+    return uniprot_like(200, seed=2)
+
+
+def test_planner_is_lazy_and_harvests_once():
+    index = RelationIndex(_relation(), sampling=True)
+    planner = index.planner
+    assert planner is not None
+    assert planner.harvest_rows == 0  # nothing until the first query
+    first = planner.refutation()
+    assert first is not None
+    assert planner.harvest_rows == first.n_rows > 0
+    assert planner.refutation() is first
+
+
+def test_disabled_sampling_has_no_planner():
+    assert RelationIndex(_relation(), sampling=False).planner is None
+    assert PliStore(sampling=False).index_for(_relation()).planner is None
+
+
+def test_refutations_save_intersections():
+    relation = _relation()
+    sampled = RelationIndex(relation, sampling=True)
+    exact = RelationIndex(relation, sampling=False)
+    on = Muds(seed=0, store=_store_of(sampled)).profile(relation)
+    off = Muds(seed=0, store=_store_of(exact)).profile(relation)
+    assert on.same_metadata(off)
+    planner = sampled.planner
+    assert planner.fd_refuted + planner.ucc_refuted + planner.ind_refuted > 0
+    assert sampled.intersections < exact.intersections
+    stats = planner.stats()
+    assert stats["sampling_exact_avoided"] == (
+        planner.fd_refuted + planner.ucc_refuted + planner.ind_refuted
+    )
+    # The counters surface through the kernel-counter seam too.
+    assert sampled.kernel_counters()["sampling_exact_avoided"] > 0
+
+
+def _store_of(index: RelationIndex) -> PliStore:
+    """A store pre-seeded with one already-built index."""
+    store = PliStore()
+    store._indexes[id(index.relation)] = (index.relation, index)
+    return store
+
+
+def test_deadline_guard_bypasses_harvest():
+    """With less deadline left than min_harvest_seconds, the planner must
+    refuse to harvest and pass everything to the exact path — sampling
+    never turns an ok run into a timeout."""
+    index = RelationIndex(_relation(), sampling=True)
+    # 0.09s remaining < the 0.1s floor: deterministically below the bar.
+    with guarded(Budget(deadline_seconds=0.09, checkpoint_stride=1_000_000)):
+        assert index.planner.refutation() is None
+    assert index.planner.bypassed
+    assert index.planner.stats()["sampling_bypassed"] == 1
+    # Bypassed is permanent for this planner: exact path everywhere,
+    # including outside the budget scope.
+    assert not index.planner.refutes_fd(1, 1)
+    assert not index.planner.refutes_ucc(1)
+    assert index.planner.refuted_rhs(1, 6) == 0
+    assert index.planner.prefilter_ind_refs([["a"], ["b"]]) is None
+
+
+def test_tight_deadline_profile_matches_unbudgeted_results():
+    """End to end: a sampled profile under a nearly-spent deadline still
+    completes (the tiny input needs far less than the deadline) and its
+    metadata matches the unbudgeted exact run."""
+    relation = uniprot_like(60, seed=5)
+    reference = Muds(seed=0, sampling=False).profile(relation)
+    profiler = Muds(seed=0, sampling=True)
+    with guarded(Budget(deadline_seconds=30.0)):
+        budgeted = profiler.profile(relation)
+    assert budgeted.same_metadata(reference)
+
+
+def test_no_budget_means_no_bypass():
+    index = RelationIndex(_relation(), sampling=True)
+    assert index.planner.refutation() is not None
+    assert not index.planner.bypassed
+
+
+def test_prefilter_clears_refuted_pairs_only():
+    planner = ValidationPlanner(
+        RelationIndex(_relation(), sampling=False),
+        SamplingConfig(ind_probe_values=4),
+    )
+    values = [["a", "b"], ["a", "b", "c"], ["z"]]
+    refs = planner.prefilter_ind_refs(values)
+    assert refs is not None
+    # Column 0 ⊆ column 1 survives; everything involving column 2's
+    # disjoint values is refuted.
+    assert refs[0] >> 1 & 1
+    assert not refs[0] >> 2 & 1
+    assert not refs[1] >> 0 & 1  # "c" missing from column 0
+    assert not refs[2] >> 0 & 1 and not refs[2] >> 1 & 1
+    assert planner.ind_refuted > 0
+
+
+def test_batched_refuted_rhs_counts_per_candidate():
+    """The batched FD query must account queries/refutations per rhs bit,
+    matching what the equivalent per-rhs queries would have recorded."""
+    index = RelationIndex(_relation(), sampling=True)
+    planner = index.planner
+    universe = (1 << index.n_columns) - 1
+    refuted = planner.refuted_rhs(1, universe)
+    assert refuted & 1 == 0  # trivial rhs never refuted
+    assert planner.fd_queries == index.n_columns - 1
+    assert planner.fd_refuted == refuted.bit_count()
+    # The batched answer coincides with the per-rhs query path.
+    per_rhs = [
+        rhs
+        for rhs in range(1, index.n_columns)
+        if planner.refutes_fd(1, rhs)
+    ]
+    assert refuted == sum(1 << rhs for rhs in per_rhs)
+
+
+def test_cli_sampling_flags():
+    parser = build_parser()
+    assert parser.parse_args(["x.csv"]).sampling is True
+    assert parser.parse_args(["x.csv", "--sampling"]).sampling is True
+    assert parser.parse_args(["x.csv", "--no-sampling"]).sampling is False
+    with pytest.raises(SystemExit):
+        parser.parse_args(["x.csv", "--sampling", "--no-sampling"])

@@ -37,12 +37,16 @@ from repro.core.muds import Muds
 from repro.metadata.results import fd_signature, ucc_signature
 from repro.relation.relation import Relation
 
+from .conftest import (
+    inject_duplicates as _inject_duplicates,
+    permute_columns as _permute_columns,
+    permute_rows as _permute_rows,
+    random_relation,
+)
+
 SEED = 20160315  # EDBT 2016; fixed so CI failures reproduce locally
 N_BATCHES = 10
 RELATIONS_PER_BATCH = 15
-MAX_COLUMNS = 5
-MAX_ROWS = 12
-MAX_DOMAIN = 4
 
 
 # -- name-based signatures ---------------------------------------------------
@@ -101,55 +105,11 @@ def _oracle(relation: Relation) -> dict[str, frozenset]:
     }
 
 
-# -- generators --------------------------------------------------------------
-
-
-def _random_relation(rng: random.Random, tag: str) -> Relation:
-    """A small random relation with duplicate-free rows.
-
-    Duplicate-free bases keep the three transforms orthogonal: only the
-    explicit duplicate-injection case below exercises multiplicity.
-    Small domains maximize FD/UCC/IND density per table.
-    """
-    n_columns = rng.randint(1, MAX_COLUMNS)
-    n_rows = rng.randint(0, MAX_ROWS)
-    seen: set[tuple[int, ...]] = set()
-    rows: list[tuple[int, ...]] = []
-    for _ in range(n_rows):
-        row = tuple(rng.randint(0, MAX_DOMAIN) for _ in range(n_columns))
-        if row not in seen:
-            seen.add(row)
-            rows.append(row)
-    names = [chr(ord("A") + i) for i in range(n_columns)]
-    return Relation.from_rows(names, rows, name=tag)
-
-
-def _permute_rows(relation: Relation, rng: random.Random) -> Relation:
-    rows = list(relation.iter_rows())
-    rng.shuffle(rows)
-    return Relation.from_rows(
-        list(relation.column_names), rows, name=f"{relation.name}/rowperm"
-    )
-
-
-def _permute_columns(relation: Relation, rng: random.Random) -> Relation:
-    order = list(range(relation.n_columns))
-    rng.shuffle(order)
-    names = [relation.column_names[i] for i in order]
-    rows = [tuple(row[i] for i in order) for row in relation.iter_rows()]
-    return Relation.from_rows(names, rows, name=f"{relation.name}/colperm")
-
-
-def _inject_duplicates(relation: Relation, rng: random.Random) -> Relation:
-    rows = list(relation.iter_rows())
-    rows += [rows[rng.randrange(len(rows))] for _ in range(rng.randint(1, 3))]
-    rng.shuffle(rows)
-    return Relation.from_rows(
-        list(relation.column_names), rows, name=f"{relation.name}/dup"
-    )
-
-
 # -- the suite ---------------------------------------------------------------
+#
+# The generators live in tests/conftest.py (random_relation,
+# permute_rows/permute_columns/inject_duplicates), shared with the
+# sampling-differential suite.
 
 
 @pytest.mark.parametrize("batch", range(N_BATCHES))
@@ -157,7 +117,7 @@ def test_metamorphic_invariants(batch: int) -> None:
     rng = random.Random(SEED + batch)
     for index in range(RELATIONS_PER_BATCH):
         tag = f"meta[{batch}.{index}]"
-        relation = _random_relation(rng, tag)
+        relation = random_relation(rng, tag)
         base = _signatures(relation)
 
         # Oracle agreement on the base relation.

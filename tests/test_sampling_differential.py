@@ -1,0 +1,89 @@
+"""Differential suite: sampling on vs. off must be bit-identical.
+
+The refutation engine's contract is that it only *refutes* candidates
+(every sample violation is a real violation) and never accepts one, so
+discovered minimal FDs, minimal UCCs, and unary INDs are exactly the
+same with and without sampling.  This suite pins that on ~100 seeded
+random relations (the metamorphic suite's generator, shared via
+``tests/conftest.py``) for every algorithm that consults the engine:
+TANE, FUN, DUCC, SPIDER (standalone entry points over an explicitly
+configured store), plus the MUDS and Holistic FUN profilers end to end.
+
+A deliberately tiny ``max_rows`` keeps samples *partial* (the engine
+must forward unrefuted-but-invalid candidates to the exact path rather
+than guess), and the batch seeds the sampler differently each time.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algorithms.ducc import ducc_on_relation
+from repro.algorithms.fun import fun_on_relation
+from repro.algorithms.spider import spider_on_relation
+from repro.algorithms.tane import tane_on_relation
+from repro.core.holistic_fun import HolisticFun
+from repro.core.muds import Muds
+from repro.pli.store import PliStore
+from repro.sampling import SamplingConfig
+
+from .conftest import random_relation
+
+SEED = 20160316
+N_BATCHES = 5
+RELATIONS_PER_BATCH = 20
+
+
+def _stores(batch: int) -> tuple[PliStore, PliStore]:
+    """A sampled store (tiny, batch-seeded sample) and an exact one."""
+    config = SamplingConfig(max_rows=8, seed=batch, per_cluster=2)
+    return PliStore(sampling=config), PliStore(sampling=False)
+
+
+@pytest.mark.parametrize("batch", range(N_BATCHES))
+def test_algorithms_identical_with_and_without_sampling(batch: int) -> None:
+    rng = random.Random(SEED + batch)
+    for index in range(RELATIONS_PER_BATCH):
+        tag = f"diff[{batch}.{index}]"
+        relation = random_relation(rng, tag)
+        on, off = _stores(batch)
+
+        tane_on = tane_on_relation(relation, store=on)
+        tane_off = tane_on_relation(relation, store=off)
+        assert tane_on.fds == tane_off.fds, f"{tag}: tane FDs diverge"
+
+        fun_on = fun_on_relation(relation, store=on)
+        fun_off = fun_on_relation(relation, store=off)
+        assert fun_on.fds == fun_off.fds, f"{tag}: fun FDs diverge"
+        assert fun_on.minimal_uccs == fun_off.minimal_uccs, (
+            f"{tag}: fun UCCs diverge"
+        )
+
+        ducc_on = ducc_on_relation(relation, rng=random.Random(0), store=on)
+        ducc_off = ducc_on_relation(relation, rng=random.Random(0), store=off)
+        assert ducc_on.minimal_uccs == ducc_off.minimal_uccs, (
+            f"{tag}: ducc UCCs diverge"
+        )
+
+        assert spider_on_relation(relation, store=on) == spider_on_relation(
+            relation, store=off
+        ), f"{tag}: spider INDs diverge"
+
+
+@pytest.mark.parametrize("batch", range(N_BATCHES))
+def test_profilers_identical_with_and_without_sampling(batch: int) -> None:
+    rng = random.Random(SEED - 1 - batch)
+    config = SamplingConfig(max_rows=8, seed=batch, per_cluster=2)
+    for index in range(RELATIONS_PER_BATCH):
+        tag = f"diffprof[{batch}.{index}]"
+        relation = random_relation(rng, tag)
+
+        muds_on = Muds(seed=0, sampling=config).profile(relation)
+        muds_off = Muds(seed=0, sampling=False).profile(relation)
+        assert muds_on.same_metadata(muds_off), f"{tag}: muds diverges"
+
+        hfun_on = HolisticFun(sampling=config).profile(relation)
+        hfun_off = HolisticFun(sampling=False).profile(relation)
+        assert hfun_on.same_metadata(hfun_off), f"{tag}: hfun diverges"
