@@ -7,6 +7,7 @@ Examples::
     python -m repro --dataset bridges --stats
     python -m repro data.csv --delimiter ';' --no-header --max-rows 5000
     python -m repro data.csv --algorithm baseline --jobs 3
+    python -m repro data.csv --pli-backend numpy
     python -m repro data.csv --no-result-cache
     python -m repro --dataset bridges --trace out.jsonl
 
@@ -31,6 +32,7 @@ from collections.abc import Sequence
 
 from . import trace as _trace
 from .core.profiler import ALGORITHMS, choose_algorithm, profile
+from .pli import backend as _pli_backend
 from .core.statistics import profile_statistics
 from .guard import Budget, BudgetExceeded, guarded
 from .harness.result_cache import DEFAULT_CACHE_DIR, ResultCache
@@ -118,6 +120,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the baseline algorithm's three "
         "independent tasks (SPIDER, DUCC, FUN); the holistic algorithms "
         "are single search processes and run with one",
+    )
+    parser.add_argument(
+        "--pli-backend",
+        choices=("python", "numpy"),
+        default=None,
+        help="PLI kernel backend: 'python' (zero-dependency, the default) "
+        "or 'numpy' (vectorized; needs numpy installed). Results are "
+        "bit-identical either way. Defaults to $REPRO_PLI_BACKEND, or "
+        "'python' when unset",
     )
     sampling_group = parser.add_mutually_exclusive_group()
     sampling_group.add_argument(
@@ -231,6 +242,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
+    if args.pli_backend is not None:
+        # Arm explicitly (process-wide) so an unusable request fails the
+        # run up front instead of silently profiling on another kernel.
+        try:
+            _pli_backend.set_backend(args.pli_backend)
+        except _pli_backend.BackendUnavailable as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     # Tracing comes up before any profiling work so the trace covers the
     # whole run.  $REPRO_TRACE already enabled the tracer at import time;
     # --trace enables it (freshly) here and fixes the output path.
@@ -261,12 +280,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     if algorithm == "auto":
         algorithm = choose_algorithm(relation)
     cache = _open_result_cache(args, budget)
-    # ``sampling`` is part of the key for counter transparency only —
-    # discovered metadata is exact (thus identical) in both modes.
+    # ``sampling`` and ``pli_backend`` are part of the key for counter
+    # transparency only — discovered metadata is exact (thus identical)
+    # in all modes.
     cache_config = {
         "seed": args.seed,
         "as_published": args.as_published,
         "sampling": args.sampling,
+        "pli_backend": _pli_backend.ACTIVE.name,
     }
 
     result = None

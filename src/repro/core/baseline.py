@@ -45,6 +45,7 @@ from ..algorithms.fun import FunResult, fun
 from ..algorithms.spider import spider
 from ..guard import Budget, BudgetExceeded, active_budget, guarded
 from ..metadata.results import ProfilingResult
+from ..pli import backend as _backend
 from ..pli.store import PliStore
 from ..relation.relation import Relation
 from ..sampling import SamplingConfig
@@ -61,17 +62,20 @@ def _baseline_task(
     seed: int,
     budget: Budget | None,
     sampling: SamplingConfig | bool | None = None,
+    pli_backend: str | None = None,
 ) -> dict[str, Any]:
     """Run one baseline task standalone; the concurrent mode's worker.
 
     Executes in a worker process: builds its own :class:`PliStore` (and
     thus its own :class:`~repro.pli.index.RelationIndex`) over the pickled
-    relation and arms its own copy of ``budget``.  Returns a plain dict —
-    masks, counters, seconds, and TL/ML status — never live objects, so
-    the process boundary carries exactly what the parent assembles into a
+    relation, arms the parent's kernel backend (backend selection is
+    process-global, so a spawned worker does not inherit it), and arms its
+    own copy of ``budget``.  Returns a plain dict — masks, counters,
+    seconds, and TL/ML status — never live objects, so the process
+    boundary carries exactly what the parent assembles into a
     :class:`ProfilingResult`.
     """
-    store = PliStore(sampling=sampling)
+    store = PliStore(sampling=sampling, pli_backend=pli_backend)
     index = store.index_for(relation)
     out: dict[str, Any] = {"task": task, "status": "ok", "error": None}
     started = time.perf_counter()
@@ -253,6 +257,7 @@ class BaselineProfiler:
                             self.seed,
                             budget,
                             self.sampling,
+                            _backend.ACTIVE.name,
                         )
                         for task in BASELINE_TASKS
                     }

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from .. import trace as _trace
 from ..metadata.results import ProfilingResult
+from ..pli import backend as _backend
 from ..relation.relation import Relation
 from ..sampling import SamplingConfig
 from .baseline import BaselineProfiler
@@ -42,6 +43,7 @@ def profile(
     verify_completeness: bool = True,
     jobs: int | None = None,
     sampling: SamplingConfig | bool | None = None,
+    pli_backend: str | None = None,
 ) -> ProfilingResult:
     """Discover all unary INDs, minimal UCCs, and minimal FDs of a relation.
 
@@ -69,6 +71,12 @@ def profile(
         default two-stage validation (row-sample refutation before exact
         PLI checks — results stay exact either way), ``False`` disables
         it, a :class:`~repro.sampling.SamplingConfig` tunes it.
+    pli_backend:
+        Kernel backend for this call's PLI operations (``"python"`` /
+        ``"numpy"``); ``None`` keeps the process's armed backend.  The
+        discovered metadata is bit-identical across backends — only the
+        kernel's speed changes.  Scoped: the previous backend is restored
+        on return.
 
     Returns
     -------
@@ -79,12 +87,13 @@ def profile(
         raise ValueError(f"unknown algorithm {algorithm!r}; pick one of {ALGORITHMS}")
     if algorithm == "auto":
         algorithm = choose_algorithm(relation)
-    with _trace.span(
+    with _backend.use_backend(pli_backend), _trace.span(
         "profile",
         algorithm=algorithm,
         dataset=relation.name,
         columns=relation.n_columns,
         rows=relation.n_rows,
+        pli_backend=_backend.ACTIVE.name,
     ):
         if algorithm == "muds":
             return Muds(

@@ -35,6 +35,7 @@ from ..core.muds import Muds
 from ..guard import Budget, BudgetExceeded, guarded
 from ..metadata.results import ProfilingResult, fd_signature, ucc_signature
 from ..metadata.serialize import result_from_dict, result_to_dict
+from ..pli import backend as _backend
 from ..pli.pli import KERNEL_STATS
 from ..relation.relation import Relation
 from ..sampling import SamplingConfig
@@ -340,6 +341,7 @@ class Framework:
                 dataset=relation.name,
                 columns=relation.n_columns,
                 rows=relation.n_rows,
+                pli_backend=_backend.ACTIVE.name,
             )
             if tracer is not None
             else _trace.NULL_SPAN
@@ -429,6 +431,7 @@ def default_framework(
     seed: int = 0,
     faithful_muds: bool = True,
     sampling: "SamplingConfig | bool | None" = None,
+    pli_backend: str | None = None,
 ) -> Framework:
     """Framework with the paper's four contenders registered.
 
@@ -436,10 +439,16 @@ def default_framework(
     (``verify_completeness=False``) used for benchmark comparisons; pass
     ``False`` to benchmark the exactness-certifying default instead.
     ``sampling`` configures every contender's refutation engine uniformly
-    (``None``/``True`` default on, ``False`` off).
+    (``None``/``True`` default on, ``False`` off).  ``pli_backend`` arms a
+    PLI kernel backend process-wide (``"python"``/``"numpy"``; ``None``
+    keeps the currently armed one) — the results are bit-identical either
+    way, only the kernel's speed changes.
     """
     from ..algorithms.tane import TaneResult, tane
     from ..pli.store import PliStore
+
+    if pli_backend is not None:
+        _backend.set_backend(pli_backend)
 
     class _TaneProfiler:
         """TANE wrapped as a (FD-only) profiler for Table 3 comparisons."""

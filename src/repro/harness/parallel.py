@@ -45,6 +45,7 @@ from typing import Any, Callable, Iterator, Mapping
 
 from .. import trace as _trace
 from ..guard import Budget
+from ..pli import backend as _backend
 from ..relation.relation import Relation
 from .framework import (
     Framework,
@@ -157,6 +158,11 @@ class PointTask:
     #: Collect this point's structured trace in the worker and ship it
     #: back with the serialized record (set when the parent is tracing).
     trace: bool = False
+    #: Kernel backend to arm in the worker before executing the point
+    #: (``None`` keeps the worker's import-time default).  Backend
+    #: selection is process-global, so the parent's choice must travel
+    #: explicitly — a spawned worker does not inherit it.
+    pli_backend: str | None = None
 
 
 def execute_point_record(task: PointTask) -> dict[str, Any]:
@@ -171,6 +177,12 @@ def execute_point_record(task: PointTask) -> dict[str, Any]:
     """
     from .runner import SweepPoint  # deferred: runner imports this module
 
+    if task.pli_backend is not None:
+        # Re-arm the parent's kernel backend in this worker.  Safe under
+        # fork *and* spawn: set_backend is idempotent, and an unusable
+        # explicit choice should fail the point loudly rather than let
+        # workers silently compute on a different kernel than the parent.
+        _backend.set_backend(task.pli_backend)
     if task.trace and _trace.ACTIVE is None:
         # The parent was tracing when it built the task; bring this
         # worker's process-local tracer up so the point's events exist to

@@ -23,7 +23,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from pathlib import Path
+from pathlib import Path, PurePath
 from typing import Any, Mapping
 
 __all__ = ["ResultCache", "DEFAULT_CACHE_DIR", "config_key"]
@@ -35,19 +35,81 @@ DEFAULT_CACHE_DIR = os.path.join("benchmarks", "results", "cache")
 CACHE_FORMAT_VERSION = 1
 
 
+def _canonicalize(value: Any, path: str) -> Any:
+    """Recursively reduce a config value to a canonical JSON-ready form.
+
+    Equal configurations must produce equal keys regardless of how they
+    were spelled: mappings sort by key, sets sort their (canonicalized)
+    elements, tuples and lists are the same sequence, and paths use POSIX
+    separators.  Anything without a well-defined canonical form — an
+    arbitrary object that ``str()`` would stringify differently across
+    runs, or a set whose canonical elements cannot be ordered — is
+    rejected loudly: a silently unstable key splits the cache, which is
+    the bug this function exists to prevent.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise TypeError(
+                f"config value at {path!r} is non-finite ({value!r}); "
+                "non-finite floats have no canonical JSON form"
+            )
+        return value
+    if isinstance(value, PurePath):
+        return value.as_posix()
+    if isinstance(value, Mapping):
+        items = []
+        for key in value:
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"config mapping key at {path!r} must be a string, "
+                    f"got {type(key).__name__}: {key!r}"
+                )
+            items.append((key, _canonicalize(value[key], f"{path}.{key}")))
+        return dict(sorted(items))
+    if isinstance(value, (set, frozenset)):
+        elements = [
+            _canonicalize(element, f"{path}{{}}") for element in value
+        ]
+        try:
+            elements.sort()
+        except TypeError as error:
+            raise TypeError(
+                f"config set at {path!r} has unorderable elements "
+                f"(mixed types have no canonical order): {error}"
+            ) from error
+        return elements
+    if isinstance(value, (list, tuple)):
+        return [
+            _canonicalize(element, f"{path}[{index}]")
+            for index, element in enumerate(value)
+        ]
+    raise TypeError(
+        f"config value at {path!r} has no canonical form: "
+        f"{type(value).__name__}: {value!r}"
+    )
+
+
 def config_key(config: Mapping[str, Any] | str | None) -> str:
     """Canonical string form of an execution configuration.
 
     A configuration is whatever, besides the input relation and algorithm
     name, can change the discovered metadata: seeds, algorithm variants,
-    preprocessing flags.  Mappings canonicalize to sorted compact JSON so
-    key order never splits the cache.
+    preprocessing flags.  Mappings canonicalize recursively — sorted keys,
+    sorted sets, POSIX path strings — to compact JSON, so spelling
+    differences (key order, ``set`` iteration order, ``Path`` flavor,
+    ``tuple`` vs ``list``) never split the cache.  Values with no
+    well-defined canonical form raise :class:`TypeError` instead of being
+    stringified unstably.
     """
     if config is None:
         return ""
     if isinstance(config, str):
         return config
-    return json.dumps(dict(config), sort_keys=True, separators=(",", ":"), default=str)
+    return json.dumps(
+        _canonicalize(config, "$"), sort_keys=True, separators=(",", ":")
+    )
 
 
 class ResultCache:

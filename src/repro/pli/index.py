@@ -20,12 +20,14 @@ the cache hit-rate reflects the full lookup traffic of an algorithm run.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from typing import Any
 
 from ..guard import checkpoint
 from ..relation.columnset import bit, iter_bits, lowest_bit
 from ..relation.relation import Relation
 from ..sampling import SamplingConfig, ValidationPlanner, resolve_sampling
+from . import backend as _backend
 from .cache import PliCache
 from .pli import PLI
 
@@ -58,7 +60,11 @@ class RelationIndex:
         self.n_rows = relation.n_rows
         self.n_columns = relation.n_columns
         self.cache = PliCache(cache_capacity)
-        self._vectors: list[list[int]] = []
+        # Dense vectors in the active kernel backend's native encoding
+        # (flat lists for python, int64 arrays for numpy) so refinement
+        # probes never pay a per-call representation conversion.
+        kernel_backend = _backend.ACTIVE
+        self._vectors: list[Sequence[int]] = []
         self._distinct_values: list[list[Any]] = []
         # Counters used by the harness for shared-cost accounting.
         self.intersections = 0
@@ -90,13 +96,14 @@ class RelationIndex:
             for value_id, group in enumerate(groups.values()):
                 for row in group:
                     vector[row] = value_id
-            self._vectors.append(vector)
+            self._vectors.append(kernel_backend.as_vector(vector))
             self._distinct_values.append(list(groups))
 
     # -- single-column views -------------------------------------------------
 
-    def vector(self, column_index: int) -> list[int]:
-        """Dense value vector of one column (for refinement probes)."""
+    def vector(self, column_index: int) -> Sequence[int]:
+        """Dense value vector of one column (for refinement probes), in
+        the kernel backend's native encoding (list or int64 array)."""
         return self._vectors[column_index]
 
     def distinct_values(self, column_index: int) -> list[Any]:

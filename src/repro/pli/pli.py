@@ -30,6 +30,14 @@ intersection loop ~15% (measured in ``benchmarks/bench_pli_kernel.py``);
 a list subscript just returns the stored object.  The density (one slot
 per row) is what matters, not the 4-byte element width.
 
+The *implementation* of ``intersect``/``refines`` is selectable: the
+process-global kernel backend (:mod:`repro.pli.backend`, chosen via
+``$REPRO_PLI_BACKEND`` / ``--pli-backend``) is either the pure-python
+loops described above or a NumPy-vectorized path over memoized ``int64``
+row/size/probe arrays.  Both produce the same canonical stripped-cluster
+form — the representation above stays the single source of truth for
+equality, hashing, and serialization regardless of backend.
+
 NULL semantics: ``None`` is treated as a regular value equal to itself, the
 Metanome default for FD/UCC discovery.
 """
@@ -41,6 +49,7 @@ from typing import Any
 
 from .. import guard as _guard
 from .. import trace as _trace
+from . import backend as _backend
 
 __all__ = [
     "PLI",
@@ -85,26 +94,39 @@ class KernelStats:
         self.refine_calls = 0
         self.refine_cluster_scans = 0
 
-    def snapshot(self) -> dict[str, int]:
-        """Current counter values as a plain dict."""
+    def snapshot(self) -> dict[str, int | str]:
+        """Current counter values as a plain dict.
+
+        ``pli_backend`` names the backend armed at snapshot time — the
+        one non-numeric entry, carried so per-run kernel reports say
+        which implementation produced the counts."""
         return {
             "pli_intersections": self.intersections,
             "probe_builds": self.probe_builds,
             "probe_reuses": self.probe_reuses,
             "refine_calls": self.refine_calls,
             "refine_cluster_scans": self.refine_cluster_scans,
+            "pli_backend": _backend.ACTIVE.name,
         }
 
-    def delta(self, before: Mapping[str, int]) -> dict[str, int]:
+    def delta(self, before: Mapping[str, int | str]) -> dict[str, int | str]:
         """Counter increments since an earlier :meth:`snapshot`.
 
         The counters themselves are process-lifetime monotone — nothing
         resets them between executions — so every per-run attribution
         must be snapshot/delta bracketing, never a raw read.  This is
         the one supported way to do that bracketing (the harness wraps
-        each profiler call with it)."""
+        each profiler call with it).  Non-numeric entries (the backend
+        name) carry the *after* value through unchanged."""
         after = self.snapshot()
-        return {name: after[name] - before.get(name, 0) for name in after}
+        return {
+            name: (
+                value - before.get(name, 0)
+                if isinstance(value, int)
+                else value
+            )
+            for name, value in after.items()
+        }
 
     def __repr__(self) -> str:
         return (
@@ -137,17 +159,44 @@ class PLI:
     ``clusters`` holds only id-groups of size ≥ 2, each sorted ascending;
     the clusters themselves are ordered by their smallest row id so that
     equal partitions have equal representations.
+
+    The public constructor *validates*: row ids must lie in
+    ``[0, n_rows)`` and no row may belong to two clusters — either
+    corruption would otherwise surface only later, as silently wrong
+    cluster ids in :meth:`probe_vector` or an ``IndexError`` mid
+    intersection.  Duplicate row ids *within* one cluster are harmless
+    repetition and are deduplicated (a cluster collapsing below two
+    distinct rows is stripped like any singleton).
     """
 
-    __slots__ = ("clusters", "n_rows", "_probe")
+    __slots__ = ("clusters", "n_rows", "_probe", "_np")
 
     def __init__(self, clusters: Sequence[Sequence[int]], n_rows: int):
-        normalized = sorted(
-            tuple(sorted(cluster)) for cluster in clusters if len(cluster) >= 2
-        )
+        normalized = []
+        seen: set[int] = set()
+        for cluster in clusters:
+            unique = set(cluster)
+            if len(unique) < 2:
+                continue
+            for row in unique:
+                if not 0 <= row < n_rows:
+                    raise ValueError(
+                        f"row id {row!r} outside the partition's "
+                        f"[0, {n_rows}) row range"
+                    )
+            if seen & unique:
+                overlap = sorted(seen & unique)
+                raise ValueError(
+                    f"row id(s) {overlap} appear in more than one cluster; "
+                    "a partition's clusters must be disjoint"
+                )
+            seen |= unique
+            normalized.append(tuple(sorted(unique)))
+        normalized.sort()
         self.clusters: tuple[tuple[int, ...], ...] = tuple(normalized)
         self.n_rows = n_rows
         self._probe: list[int] | None = None
+        self._np: Any = None
 
     @classmethod
     def _from_canonical(
@@ -165,6 +214,7 @@ class PLI:
         pli.clusters = clusters
         pli.n_rows = n_rows
         pli._probe = None
+        pli._np = None
         return pli
 
     # -- derived measures --------------------------------------------------
@@ -230,10 +280,13 @@ class PLI:
         """Return the PLI of the united column combination.
 
         One pass over the smaller side's clustered rows: rows are grouped
-        by their cluster id in ``other`` (via the memoized probe vector),
-        i.e. by the pair ``(cluster_a, cluster_b)``; groups of size ≥ 2
-        survive.  No probe table is rebuilt per call and the result enters
-        the trusted constructor already canonical.
+        by their cluster id in ``other``, i.e. by the pair
+        ``(cluster_a, cluster_b)``; groups of size ≥ 2 survive.  The
+        grouping itself runs on the active kernel backend
+        (:data:`repro.pli.backend.ACTIVE` — per-row bucket loop over the
+        memoized probe vector, or NumPy composite-key radix grouping);
+        either way the result enters the trusted constructor already
+        canonical, so backend choice never changes a PLI's identity.
 
         When an execution guard is active (:mod:`repro.guard`) the call
         charges the budget with the clustered rows it materialized and may
@@ -245,7 +298,7 @@ class PLI:
                 f"cannot intersect PLIs over {self.n_rows} and {other.n_rows} rows"
             )
         # Scan the side with fewer clustered rows; probe the other.  The
-        # probe vector is memoized on the probed PLI, so repeatedly
+        # probe representation is memoized on the probed PLI, so repeatedly
         # intersecting against the same PLI (the single-column generators)
         # pays its construction exactly once.
         small, large = (
@@ -254,47 +307,23 @@ class PLI:
             else (other, self)
         )
         KERNEL_STATS.intersections += 1
-        probe = large.probe_vector()
-        # Group rows by partner cluster through a flat bucket table indexed
-        # by cluster id — no hashing on the per-row path.  Partner -1
-        # (stripped in ``large``) lands in the one extra slot at index -1
-        # and is dropped during the sweep of touched slots.
-        buckets: list[list[int] | None] = [None] * (len(large.clusters) + 1)
-        result: list[tuple[int, ...]] = []
-        append = result.append
-        for cluster in small.clusters:
-            touched: list[int] = []
-            mark = touched.append
-            for row in cluster:
-                partner = probe[row]
-                group = buckets[partner]
-                if group is None:
-                    buckets[partner] = [row]
-                    mark(partner)
-                else:
-                    group.append(row)
-            for partner in touched:
-                group = buckets[partner]
-                buckets[partner] = None
-                if partner >= 0 and len(group) >= 2:
-                    append(tuple(group))
-        # Rows within a group ascend (cluster order); clusters are disjoint,
-        # so ordering by first element is full canonical order.
-        result.sort()
+        result, clustered_rows, np_state = _backend.ACTIVE.intersect(
+            small, large, KERNEL_STATS
+        )
         budget = _guard.ACTIVE
         tracer = _trace.ACTIVE
-        if budget is not None or tracer is not None:
-            clustered_rows = sum(map(len, result))
-            if tracer is not None:
-                # Counters on the innermost open span (rolled up outward)
-                # — no event objects, so tracing a lattice walk cannot
-                # flood the buffer.  Counted before the budget charge so
-                # the intersection that trips the budget is still traced.
-                tracer.count("pli.intersections")
-                tracer.count("pli.clustered_rows", clustered_rows)
-            if budget is not None:
-                budget.charge_intersection(clustered_rows)
-        return PLI._from_canonical(tuple(result), self.n_rows)
+        if tracer is not None:
+            # Counters on the innermost open span (rolled up outward)
+            # — no event objects, so tracing a lattice walk cannot
+            # flood the buffer.  Counted before the budget charge so
+            # the intersection that trips the budget is still traced.
+            tracer.count("pli.intersections")
+            tracer.count("pli.clustered_rows", clustered_rows)
+        if budget is not None:
+            budget.charge_intersection(clustered_rows)
+        pli = PLI._from_canonical(result, self.n_rows)
+        pli._np = np_state
+        return pli
 
     def refines(self, vector: Sequence[int]) -> bool:
         """Partition-refinement FD check (Lemma 1).
@@ -307,29 +336,24 @@ class PLI:
         relation; mismatched lengths (e.g. a vector built from a projected
         relation) are rejected instead of surfacing as an opaque
         ``IndexError`` mid-scan.
+
+        The scan runs on the active kernel backend.  ``refine_cluster_scans``
+        is accounted at cluster granularity, once per call: a False return
+        on the k-th canonical cluster charges k scans on *both* backends
+        (the python loop aborts there; the vectorized path reports the
+        first mismatching group), so the abort position stays observable
+        without a per-row counter increment on this hot path.
         """
         if len(vector) != self.n_rows:
             raise ValueError(
                 f"probe vector has {len(vector)} entries but the PLI spans "
                 f"{self.n_rows} rows"
             )
-        # ``scanned`` is accounted at cluster granularity and added to the
-        # kernel stats exactly once per call (not per row) so the abort
-        # position stays observable without a per-row counter increment on
-        # this hot loop.  A False return on the k-th cluster leaves
-        # ``refine_cluster_scans`` at k: the first violation ends the scan.
         stats = KERNEL_STATS
         stats.refine_calls += 1
-        scanned = 0
-        for cluster in self.clusters:
-            scanned += 1
-            first = vector[cluster[0]]
-            for row in cluster[1:]:
-                if vector[row] != first:
-                    stats.refine_cluster_scans += scanned
-                    return False
+        holds, scanned = _backend.ACTIVE.refines(self, vector, stats)
         stats.refine_cluster_scans += scanned
-        return True
+        return holds
 
     def to_vector(self, singleton_id: int = -1) -> list[int]:
         """Inverse view: per-row cluster ids, stripped rows get unique ids.

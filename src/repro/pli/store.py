@@ -21,6 +21,7 @@ from __future__ import annotations
 from .. import trace as _trace
 from ..relation.relation import Relation
 from ..sampling import SamplingConfig
+from . import backend as _backend
 from .index import RelationIndex
 
 __all__ = ["PliStore"]
@@ -38,15 +39,27 @@ class PliStore:
     sampling:
         Sampling-driven refutation configuration forwarded to every index
         (``None``/``True`` for the default engine, ``False`` to disable).
+    pli_backend:
+        Kernel backend this store's substrate runs on (``"python"`` /
+        ``"numpy"``).  Backend selection is process-global
+        (:mod:`repro.pli.backend`), so passing a name here *arms* that
+        backend for the process — the idiom the parallel layer uses to
+        give every worker the sweep's backend.  ``None`` keeps whatever
+        is armed (the environment default).
     """
 
     def __init__(
         self,
         cache_capacity: int = 4096,
         sampling: SamplingConfig | bool | None = None,
+        pli_backend: str | None = None,
     ):
         self.cache_capacity = cache_capacity
         self.sampling = sampling
+        if pli_backend is not None:
+            _backend.set_backend(pli_backend)
+        #: Name of the kernel backend armed when this store was created.
+        self.pli_backend = _backend.ACTIVE.name
         self._indexes: dict[int, tuple[Relation, RelationIndex]] = {}
         #: Index builds performed (one per distinct relation seen).
         self.builds = 0
@@ -75,6 +88,7 @@ class PliStore:
             relation=relation.name,
             columns=relation.n_columns,
             rows=relation.n_rows,
+            backend=_backend.ACTIVE.name,
         ):
             index = RelationIndex(
                 relation,

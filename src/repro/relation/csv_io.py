@@ -46,7 +46,9 @@ def read_csv(
         are named ``column_0 .. column_{n-1}``.
     null_values:
         Strings decoded as SQL NULL (``None``).  Defaults to the empty
-        string only.
+        string only.  A bare string is treated as *one* marker
+        (``null_values="NA"`` means ``{"NA"}``), not iterated into its
+        characters.
     name:
         Relation label; defaults to the file stem (or ``"relation"``).
     """
@@ -64,6 +66,10 @@ def read_csv(
                 name=name or path.stem,
             )
 
+    # A bare string is a single NULL marker, not an iterable of
+    # characters — frozenset("NA") would silently null every 'N' and 'A'.
+    if isinstance(null_values, str):
+        null_values = (null_values,)
     nulls = frozenset(null_values)
     reader = csv.reader(source, delimiter=delimiter)
     # Stream row by row: decode and width-check incrementally instead of

@@ -547,6 +547,17 @@ DEFAULT_SCHEMA: dict[str, Any] = {
     # Informative registry of well-known event names (not exhaustive —
     # validation keys off event_types only, so unknown names still pass).
     "names": {
+        "pli": {
+            "spans": ["pli.build_index"],
+            "counters": [
+                "pli.intersections",
+                "pli.clustered_rows",
+                "pli.probe_builds",
+                "pli.probe_reuses",
+                "pli.store_reuses",
+            ],
+            "events": [],
+        },
         "sampling": {
             "spans": ["sampling.harvest", "sampling.ind_prefilter"],
             "counters": [

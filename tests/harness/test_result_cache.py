@@ -1,6 +1,7 @@
 """Tests for the fingerprint-keyed result cache and Framework integration."""
 
 import json
+from pathlib import Path, PurePosixPath, PureWindowsPath
 
 import pytest
 
@@ -97,6 +98,73 @@ class TestResultCache:
         fingerprint = "12" * 32
         cache.put(fingerprint, "muds", {"v": 1}, {"b": 1, "a": 2})
         assert cache.get(fingerprint, "muds", {"a": 2, "b": 1}) == {"v": 1}
+
+
+class TestConfigKeyStability:
+    """Equal configurations must produce equal keys however they are
+    spelled; values with no canonical form must fail loudly instead of
+    silently splitting the cache (the old ``default=str`` behaviour)."""
+
+    def test_sets_are_order_insensitive(self):
+        # Set iteration order depends on insertion history and hash
+        # randomization — the key must not.
+        assert config_key({"cols": {"b", "a", "c"}}) == config_key(
+            {"cols": {"c", "a", "b"}}
+        )
+        assert config_key({"cols": frozenset({"a", "b"})}) == config_key(
+            {"cols": {"b", "a"}}
+        )
+
+    def test_mixed_orderable_set_elements_sort_canonically(self):
+        assert config_key({"s": {2, 1, 3}}) == config_key({"s": {3, 2, 1}})
+
+    def test_paths_use_posix_form(self):
+        assert config_key({"root": PurePosixPath("a/b")}) == config_key(
+            {"root": PureWindowsPath("a\\b")}
+        )
+        # A Path canonicalizes to the same key as its posix string form.
+        assert config_key({"root": Path("x") / "y"}) == config_key(
+            {"root": "x/y"}
+        )
+
+    def test_tuple_and_list_are_the_same_sequence(self):
+        assert config_key({"dims": (1, 2)}) == config_key({"dims": [1, 2]})
+
+    def test_nested_structures_canonicalize_recursively(self):
+        left = {"outer": {"z": [{"b", "a"}], "a": 1}}
+        right = {"outer": {"a": 1, "z": [{"a", "b"}]}}
+        assert config_key(left) == config_key(right)
+
+    def test_unorderable_set_elements_rejected(self):
+        with pytest.raises(TypeError, match="unorderable|no canonical"):
+            config_key({"s": {1, (2, 3)}})
+
+    def test_arbitrary_object_rejected(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError, match="no canonical form"):
+            config_key({"x": Opaque()})
+
+    def test_non_string_mapping_key_rejected(self):
+        with pytest.raises(TypeError, match="must be a string"):
+            config_key({"outer": {1: "a"}})
+
+    def test_non_finite_float_rejected(self):
+        with pytest.raises(TypeError, match="non-finite"):
+            config_key({"x": float("nan")})
+
+    def test_scalars_and_none_pass_through(self):
+        key = config_key(
+            {"i": 1, "f": 1.5, "b": True, "s": "x", "n": None}
+        )
+        assert json.loads(key) == {
+            "i": 1,
+            "f": 1.5,
+            "b": True,
+            "s": "x",
+            "n": None,
+        }
 
     def test_corrupt_entry_is_a_miss_not_an_error(self, cache):
         fingerprint = "34" * 32

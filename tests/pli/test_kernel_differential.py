@@ -1,14 +1,18 @@
 """Differential validation of the array-backed PLI kernel.
 
-Two guarantees, checked on ~200 randomized relations drawn from the
+Three guarantees, checked on ~200 randomized relations drawn from the
 workload generators in :mod:`repro.datasets.generators`:
 
 1. the probe-vector ``intersect`` path produces PLIs identical to the
    seed kernel's cluster-set path (kept as
    :func:`repro.pli.legacy_intersect`), and ``refines`` agrees with the
-   Lemma-1 cardinality formulation on the same inputs;
+   Lemma-1 cardinality formulation on the same inputs — on *every*
+   available kernel backend (python, and numpy when installed);
 2. TANE, FUN, and MUDS produce identical minimal FDs when all driven
-   through one shared :class:`~repro.pli.PliStore`.
+   through one shared :class:`~repro.pli.PliStore`;
+3. the kernel backends are interchangeable: identical clusters, identical
+   discovered metadata, and identical kernel counters modulo the backend
+   name itself.
 """
 
 import itertools
@@ -19,7 +23,15 @@ from repro.algorithms.fun import fun
 from repro.algorithms.tane import tane
 from repro.core.muds import Muds
 from repro.datasets.generators import ionosphere_like, ncvoter_like, uniprot_like
-from repro.pli import PliStore, RelationIndex, legacy_intersect
+from repro.pli import (
+    KERNEL_STATS,
+    PliStore,
+    RelationIndex,
+    available_backends,
+    legacy_intersect,
+    numpy_available,
+    use_backend,
+)
 
 # ~200 randomized relations: 3 generators x seeds x sizes.  Small rows keep
 # the quadratic all-pairs intersection sweep fast.
@@ -40,32 +52,34 @@ def _build(name, factory, rows, cols, seed):
     return factory(rows, n_columns=cols, seed=seed)
 
 
+@pytest.mark.parametrize("backend_name", available_backends())
 @pytest.mark.parametrize(
     "name, factory, rows, cols, seed",
     _CASES,
     ids=[f"{c[0]}-{c[2]}x{c[3]}-s{c[4]}" for c in _CASES],
 )
 def test_new_kernel_matches_legacy_on_generated_relations(
-    name, factory, rows, cols, seed
+    name, factory, rows, cols, seed, backend_name
 ):
     relation = _build(name, factory, rows, cols, seed)
-    index = RelationIndex(relation)
-    plis = [index.column_pli(c) for c in range(relation.n_columns)]
-    vectors = [index.vector(c) for c in range(relation.n_columns)]
+    with use_backend(backend_name):
+        index = RelationIndex(relation)
+        plis = [index.column_pli(c) for c in range(relation.n_columns)]
+        vectors = [index.vector(c) for c in range(relation.n_columns)]
 
-    for left, right in itertools.combinations(range(relation.n_columns), 2):
-        via_probe = plis[left].intersect(plis[right])
-        via_clusters = legacy_intersect(plis[left], plis[right])
-        assert via_probe == via_clusters, (
-            f"kernel divergence intersecting columns {left},{right} "
-            f"of {relation.name}"
-        )
-        # refines must agree with Lemma 1's cardinality formulation.
-        for lhs, rhs in ((left, right), (right, left)):
-            joint = legacy_intersect(plis[lhs], plis[rhs])
-            assert plis[lhs].refines(vectors[rhs]) == (
-                plis[lhs].distinct_count == joint.distinct_count
+        for left, right in itertools.combinations(range(relation.n_columns), 2):
+            via_probe = plis[left].intersect(plis[right])
+            via_clusters = legacy_intersect(plis[left], plis[right])
+            assert via_probe == via_clusters, (
+                f"kernel divergence intersecting columns {left},{right} "
+                f"of {relation.name} on the {backend_name} backend"
             )
+            # refines must agree with Lemma 1's cardinality formulation.
+            for lhs, rhs in ((left, right), (right, left)):
+                joint = legacy_intersect(plis[lhs], plis[rhs])
+                assert plis[lhs].refines(vectors[rhs]) == (
+                    plis[lhs].distinct_count == joint.distinct_count
+                )
 
 
 @pytest.mark.parametrize("seed", range(4))
@@ -93,3 +107,71 @@ def test_fd_signatures_agree_on_ncvoter_geometry():
     assert sorted(tane_result.fds) == sorted(fun_result.fds)
     assert sorted(tane_result.minimal_keys) == sorted(fun_result.minimal_uccs)
     assert store.builds == 1
+
+
+# -- backend interchangeability ---------------------------------------------
+
+
+def _profile_on_backend(backend_name, relation, seed):
+    """One full MUDS + TANE + FUN pass on a fresh substrate; returns the
+    discovered metadata, the composite clusters, and the kernel deltas."""
+    with use_backend(backend_name):
+        before = KERNEL_STATS.snapshot()
+        store = PliStore()
+        index = store.index_for(relation)
+        tane_result = tane(index)
+        fun_result = fun(index)
+        muds_result = Muds(seed=seed, store=store).profile(relation)
+        counters = KERNEL_STATS.delta(before)
+        clusters = {
+            column: index.column_pli(column).clusters
+            for column in range(relation.n_columns)
+        }
+        pair_clusters = {
+            (left, right): index.column_pli(left)
+            .intersect(index.column_pli(right))
+            .clusters
+            for left, right in itertools.combinations(
+                range(relation.n_columns), 2
+            )
+        }
+    counters.pop("pli_backend")
+    return {
+        "tane_fds": sorted(tane_result.fds),
+        "fun_fds": sorted(fun_result.fds),
+        "muds_fds": sorted(str(fd) for fd in muds_result.fds),
+        "uccs": sorted(str(ucc) for ucc in muds_result.uccs),
+        "inds": sorted(str(ind) for ind in muds_result.inds),
+        "clusters": clusters,
+        "pair_clusters": pair_clusters,
+        "counters": counters,
+    }
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+@pytest.mark.parametrize(
+    "factory, rows, cols, seed",
+    [
+        (uniprot_like, 60, 8, 0),
+        (uniprot_like, 90, 6, 3),
+        (ncvoter_like, 80, 8, 1),
+        (lambda r, n_columns, seed: ionosphere_like(
+            n_columns, n_rows=r, seed=seed
+        ), 70, 7, 2),
+    ],
+    ids=["uniprot-60x8", "uniprot-90x6", "ncvoter-80x8", "ionosphere-70x7"],
+)
+def test_backends_are_interchangeable(factory, rows, cols, seed):
+    """The tentpole contract: swapping the kernel backend changes nothing
+    observable but speed — identical clusters (the canonical form is the
+    identity), identical discovered metadata, and identical kernel
+    counters modulo the backend name (the accounting parity documented on
+    each backend method)."""
+    relation = factory(rows, n_columns=cols, seed=seed)
+    python = _profile_on_backend("python", relation, seed)
+    numpy = _profile_on_backend("numpy", relation, seed)
+    assert python["clusters"] == numpy["clusters"]
+    assert python["pair_clusters"] == numpy["pair_clusters"]
+    for key in ("tane_fds", "fun_fds", "muds_fds", "uccs", "inds"):
+        assert python[key] == numpy[key], f"{key} diverged across backends"
+    assert python["counters"] == numpy["counters"]

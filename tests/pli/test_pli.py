@@ -7,11 +7,14 @@ from hypothesis import strategies as st
 from repro.pli import (
     KERNEL_STATS,
     PLI,
+    available_backends,
     legacy_intersect,
     pli_from_column,
     pli_from_vector,
+    use_backend,
     value_vector,
 )
+from repro.pli import backend as _backend
 
 columns = st.lists(st.one_of(st.none(), st.integers(0, 5)), max_size=30)
 two_columns = st.lists(
@@ -49,6 +52,34 @@ class TestConstruction:
     @given(columns)
     def test_matches_brute_partition(self, values):
         assert list(pli_from_column(values).clusters) == brute_partition(values)
+
+
+class TestConstructorValidation:
+    """The public constructor rejects corrupt partitions up front.
+
+    Out-of-range ids would otherwise surface later as an ``IndexError``
+    mid-intersection; overlapping clusters as silently wrong probe-vector
+    entries.  Both failure shapes must be loud and immediate.
+    """
+
+    def test_row_id_beyond_n_rows_rejected(self):
+        with pytest.raises(ValueError, match=r"row id 4 .*\[0, 4\)"):
+            PLI([[0, 4]], 4)
+
+    def test_negative_row_id_rejected(self):
+        with pytest.raises(ValueError, match=r"row id -1 "):
+            PLI([[-1, 2]], 4)
+
+    def test_overlapping_clusters_rejected(self):
+        with pytest.raises(ValueError, match=r"\[2\].*more than one cluster"):
+            PLI([[0, 2], [2, 3]], 4)
+
+    def test_duplicates_within_a_cluster_are_deduped(self):
+        assert PLI([[1, 2, 1]], 3).clusters == ((1, 2),)
+
+    def test_cluster_collapsing_to_one_distinct_row_is_stripped(self):
+        # [2, 2] is one distinct row repeated — a singleton in disguise.
+        assert PLI([[2, 2], [0, 1]], 3).clusters == ((0, 1),)
 
 
 class TestMeasures:
@@ -104,6 +135,19 @@ class TestIntersect:
         pli = pli_from_column(values)
         assert pli.intersect(pli) == pli
 
+    @pytest.mark.parametrize("backend_name", available_backends())
+    def test_fully_stripped_partner_yields_empty_pli(self, backend_name):
+        # Every clustered row of ``a`` is a stripped singleton in ``b``
+        # (partner == -1 for all of them), so nothing survives — on
+        # either kernel backend.
+        a = pli_from_column([1, 1, 2, 2, 3, 4])  # clusters (0,1), (2,3)
+        b = pli_from_column([0, 1, 2, 3, 9, 9])  # cluster (4,5) only
+        with use_backend(backend_name):
+            joint = a.intersect(b)
+        assert joint.clusters == ()
+        assert joint.is_unique
+        assert joint.n_rows == 6
+
 
 class TestRefines:
     def test_valid_fd(self):
@@ -140,6 +184,25 @@ class TestVectors:
     def test_to_vector_roundtrip(self, values):
         pli = pli_from_column(values)
         assert pli_from_vector(pli.to_vector()) == pli
+
+    def test_to_vector_default_gives_singletons_unique_ids(self):
+        # With singleton_id=-1 every stripped row gets its *own* negative
+        # id, so the vector is itself a valid value vector: rebuilding a
+        # PLI from it must not glue the singletons into a fake cluster.
+        pli = pli_from_column(["a", "x", "a", "y", "z"])
+        vector = pli.to_vector(singleton_id=-1)
+        assert vector[0] == vector[2] == 0
+        singles = [vector[1], vector[3], vector[4]]
+        assert len(set(singles)) == 3
+        assert all(value < 0 for value in singles)
+        assert pli_from_vector(vector) == pli
+
+    def test_to_vector_shared_singleton_id_merges_stripped_rows(self):
+        # An explicit shared id is the lossy variant: stripped rows become
+        # one value, so the round-trip clusters them together.
+        pli = pli_from_column(["a", "x", "a", "y"])
+        rebuilt = pli_from_vector(pli.to_vector(singleton_id=99))
+        assert rebuilt.clusters == ((0, 2), (1, 3))
 
 
 class TestProbeVector:
@@ -228,6 +291,7 @@ def test_kernel_stats_delta_brackets_a_run():
         "probe_reuses": 0,
         "refine_calls": 0,
         "refine_cluster_scans": 0,
+        "pli_backend": _backend.ACTIVE.name,
     }
     # Missing keys in the snapshot count from zero (forward-compatible
     # bracketing across counter additions).
@@ -270,7 +334,13 @@ class TestRefinesEarlyAbort:
 
     def test_first_violation_stops_vector_reads(self):
         """Row-granular proof: an immediate violation reads exactly the
-        two probe-vector entries that witness it."""
+        two probe-vector entries that witness it.
+
+        Row-level early abort is a property of the *python* kernel
+        specifically (the numpy kernel reduces whole clusters at once,
+        aborting only at cluster granularity), so this test pins that
+        backend explicitly.
+        """
 
         class CountingVector(list):
             reads = 0
@@ -282,5 +352,6 @@ class TestRefinesEarlyAbort:
         pli = pli_from_column(["a"] * 50 + ["b"] * 50)
         vector = CountingVector([0, 1] + [2] * 48 + [3] * 50)
         CountingVector.reads = 0
-        assert not pli.refines(vector)
+        with use_backend("python"):
+            assert not pli.refines(vector)
         assert CountingVector.reads == 2

@@ -24,6 +24,13 @@ class TestRead:
         rel = read_csv_text("a\nNA\nx\n", null_values={"NA", ""})
         assert rel.column("a") == (None, "x")
 
+    def test_bare_string_null_value_is_one_marker(self):
+        # Regression: null_values="NA" used to be iterated as a string,
+        # silently nulling every field equal to 'N' or 'A' instead of
+        # matching the marker "NA" itself.
+        rel = read_csv_text("a\nNA\nN\nA\nx\n", null_values="NA")
+        assert rel.column("a") == (None, "N", "A", "x")
+
     def test_no_header(self):
         rel = read_csv_text("1,2\n3,4\n", has_header=False)
         assert rel.column_names == ("column_0", "column_1")
