@@ -64,6 +64,7 @@ def ducc(index: RelationIndex, rng: random.Random | None = None) -> DuccResult:
         universe=full_mask(index.n_columns),
         predicate=index.is_unique,
         rng=rng or random.Random(0),
+        checkpoint_stage="ducc.search",
     )
     with _trace.span("ducc.search", columns=index.n_columns) as search_span:
         try:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import checkpointing as _ckpt
 from .. import trace as _trace
 from ..guard import BudgetExceeded, checkpoint
 from ..lattice.lattice import apriori_gen
@@ -93,6 +94,28 @@ def fun(index: RelationIndex) -> FunResult:
     closures_prev: dict[int, int] = {}
 
     level_number = 1
+    ckpt = _ckpt.ACTIVE
+    if ckpt is not None:
+        state = ckpt.resume("fun")
+        if state is not None:
+            # The frontier dict's iteration order is semantic (apriori_gen
+            # walks it), so it round-trips as an ordered pair list, never
+            # sorted.  ``consult_sample`` carries the zero-yield cutoff
+            # across the kill; it can only stay on if a planner exists in
+            # this process too.
+            level_number = state["level"]
+            level = {
+                mask: _ckpt.pli_from_state(pli)
+                for mask, pli in _ckpt.mask_dict(state["frontier"]).items()
+            }
+            cards = _ckpt.mask_dict(state["cards"])
+            closures_prev = _ckpt.mask_dict(state["closures_prev"])
+            fds = [tuple(fd) for fd in state["fds"]]
+            uccs = list(state["uccs"])
+            fd_checks = state["fd_checks"]
+            intersections = state["intersections"]
+            free_sets = state["free_sets"]
+            consult_sample = state["consult_sample"] and planner is not None
     try:
         while level:
             tracer = _trace.ACTIVE
@@ -174,6 +197,24 @@ def fun(index: RelationIndex) -> FunResult:
             level = next_level
             cards = next_cards
             level_number += 1
+            if ckpt is not None:
+                ckpt.boundary(
+                    "fun",
+                    {
+                        "level": level_number,
+                        "frontier": _ckpt.mask_items(
+                            {m: _ckpt.pli_state(p) for m, p in level.items()}
+                        ),
+                        "cards": _ckpt.mask_items(cards),
+                        "closures_prev": _ckpt.mask_items(closures_prev),
+                        "fds": fds,
+                        "uccs": uccs,
+                        "fd_checks": fd_checks,
+                        "intersections": intersections,
+                        "free_sets": free_sets,
+                        "consult_sample": consult_sample,
+                    },
+                )
     except BudgetExceeded as error:
         level_span.__exit__(None, None, None)
         # FDs/UCCs emitted before the budget ran out are sound (minimal

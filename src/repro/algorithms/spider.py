@@ -18,6 +18,7 @@ from __future__ import annotations
 import heapq
 from collections.abc import Sequence
 
+from .. import checkpointing as _ckpt
 from .. import trace as _trace
 from ..guard import checkpoint
 from ..pli.index import RelationIndex
@@ -31,6 +32,7 @@ __all__ = ["spider", "spider_on_relation", "spider_across"]
 def _merge_candidates(
     sorted_values: list[list[str]],
     initial_refs: list[int] | None = None,
+    checkpoint_stage: str | None = None,
 ) -> list[int]:
     """SPIDER's comparison phase over sorted duplicate-free value lists.
 
@@ -41,19 +43,39 @@ def _merge_candidates(
     ``initial_refs`` seeds the candidate sets (the sampling prefilter's
     already-refuted pairs); the merge only ever narrows them, so an empty
     seed short-circuits the sweep.
+
+    With ``checkpoint_stage`` set and a checkpoint session active, the
+    merge cursor (refs + per-attribute cursors) is saved every
+    ``merge_stride`` steps and restored on resume.  The heap is rebuilt
+    from the cursors: its pending entries are exactly the ``(value,
+    attr)`` pairs at each unexhausted cursor, and a heap pops a fixed
+    element set in a unique order, so the replayed sweep is identical.
     """
     n = len(sorted_values)
     all_attrs = (1 << n) - 1
-    if initial_refs is None:
-        refs = [all_attrs & ~(1 << attr) for attr in range(n)]
+    ckpt = _ckpt.ACTIVE if checkpoint_stage is not None else None
+    steps = 0
+    state = ckpt.resume(checkpoint_stage) if ckpt is not None else None
+    if state is not None:
+        refs = list(state["refs"])
+        cursors = list(state["cursors"])
+        steps = state["steps"]
+        heap: list[tuple[str, int]] = [
+            (sorted_values[attr][cursors[attr]], attr)
+            for attr in range(n)
+            if cursors[attr] < len(sorted_values[attr])
+        ]
     else:
-        refs = list(initial_refs)
-        if not any(refs):
-            return refs
-    cursors = [0] * n
-    heap: list[tuple[str, int]] = [
-        (values[0], attr) for attr, values in enumerate(sorted_values) if values
-    ]
+        if initial_refs is None:
+            refs = [all_attrs & ~(1 << attr) for attr in range(n)]
+        else:
+            refs = list(initial_refs)
+            if not any(refs):
+                return refs
+        cursors = [0] * n
+        heap = [
+            (values[0], attr) for attr, values in enumerate(sorted_values) if values
+        ]
     heapq.heapify(heap)
     while heap:
         # Cooperative guard point per merge step; SPIDER attaches no
@@ -74,6 +96,12 @@ def _merge_candidates(
             values = sorted_values[attr]
             if cursors[attr] < len(values):
                 heapq.heappush(heap, (values[cursors[attr]], attr))
+        steps += 1
+        if ckpt is not None and steps % ckpt.merge_stride == 0:
+            ckpt.boundary(
+                checkpoint_stage,
+                {"refs": refs, "cursors": cursors, "steps": steps},
+            )
     return refs
 
 
@@ -98,13 +126,17 @@ def spider(index: RelationIndex) -> list[tuple[int, int]]:
         ]
     # Stage 1: sampled value probes against the full referenced sets clear
     # candidate pairs with an exact witness before the merge sweep starts.
+    # A resumed merge skips the prefilter: its effect is already embedded
+    # in the restored candidate sets.
+    ckpt = _ckpt.ACTIVE
+    resuming = ckpt is not None and ckpt.resume("spider") is not None
     initial_refs = (
         index.planner.prefilter_ind_refs(sorted_values)
-        if index.planner is not None
+        if index.planner is not None and not resuming
         else None
     )
     with _trace.span("spider.merge", columns=n) as merge_span:
-        refs = _merge_candidates(sorted_values, initial_refs)
+        refs = _merge_candidates(sorted_values, initial_refs, checkpoint_stage="spider")
         inds = sorted(
             (dependent, referenced)
             for dependent in range(n)

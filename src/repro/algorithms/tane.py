@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import checkpointing as _ckpt
 from .. import trace as _trace
 from ..guard import BudgetExceeded, checkpoint
 from ..lattice.lattice import apriori_gen
@@ -76,6 +77,26 @@ def tane(index: RelationIndex, include_empty_lhs: bool = False) -> TaneResult:
         level.append(mask)
 
     level_number = 1
+    ckpt = _ckpt.ACTIVE
+    if ckpt is not None:
+        state = ckpt.resume("tane")
+        if state is not None:
+            # Continue from the last completed level: the frontier, its
+            # PLIs, the cardinality/candidate memos, and the counters are
+            # everything the remaining traversal depends on.
+            level_number = state["level"]
+            level = list(state["frontier"])
+            plis = {
+                mask: _ckpt.pli_from_state(pli)
+                for mask, pli in _ckpt.mask_dict(state["plis"]).items()
+            }
+            cards = _ckpt.mask_dict(state["cards"])
+            cplus = _ckpt.mask_dict(state["cplus"])
+            fds = [tuple(fd) for fd in state["fds"]]
+            keys = list(state["keys"])
+            fd_checks = state["fd_checks"]
+            intersections = state["intersections"]
+            visited = state["visited"]
     try:
         while level:
             tracer = _trace.ACTIVE
@@ -157,6 +178,24 @@ def tane(index: RelationIndex, include_empty_lhs: bool = False) -> TaneResult:
             plis = next_plis
             level = next_level
             level_number += 1
+            if ckpt is not None:
+                ckpt.boundary(
+                    "tane",
+                    {
+                        "level": level_number,
+                        "frontier": level,
+                        "plis": _ckpt.mask_items(
+                            {m: _ckpt.pli_state(p) for m, p in plis.items()}
+                        ),
+                        "cards": _ckpt.mask_items(cards),
+                        "cplus": _ckpt.mask_items(cplus),
+                        "fds": fds,
+                        "keys": keys,
+                        "fd_checks": fd_checks,
+                        "intersections": intersections,
+                        "visited": visited,
+                    },
+                )
     except BudgetExceeded as error:
         level_span.__exit__(None, None, None)
         # Graceful degradation: everything emitted before the budget ran

@@ -1,0 +1,115 @@
+"""Import-order-neutral face of the checkpoint layer.
+
+The checkpoint subsystem proper — file format, atomic writes, the
+store — lives in :mod:`repro.harness.checkpoint`.  But the *algorithms*
+are below the harness in the import order (the harness imports the
+profilers, which import the algorithms), so, exactly like
+:mod:`repro.guard` and :mod:`repro.faults`, the few names the lattice
+loops touch live here in a stdlib-only module: the process-global
+:data:`ACTIVE` session handle, the :class:`SimulatedCrash` kill used by
+the differential matrix, and the JSON state-encoding helpers.
+
+Algorithms never import the session class; they duck-type against
+whatever object :func:`active_session` installed (``resume`` /
+``boundary`` / ``context`` / ``merge_stride``), so a traversal compiled
+with checkpoint support costs one global read when checkpointing is off.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Mapping
+
+__all__ = [
+    "ACTIVE",
+    "SimulatedCrash",
+    "active_session",
+    "mask_dict",
+    "mask_items",
+    "pli_from_state",
+    "pli_state",
+    "rng_state_from_json",
+    "rng_state_to_json",
+]
+
+
+class SimulatedCrash(BaseException):
+    """A test-injected process kill at a checkpoint boundary.
+
+    Subclasses :class:`BaseException` so the harness's ``except
+    Exception`` containment cannot swallow it — exactly like the real
+    ``SIGKILL`` it stands in for, it unwinds all the way out.
+    """
+
+    def __init__(self, stage: str, boundary: int):
+        super().__init__(f"simulated crash after boundary #{boundary} ({stage})")
+        self.stage = stage
+        self.boundary = boundary
+
+
+#: The currently running execution's checkpoint session (``None`` =
+#: checkpointing off).  Installed by :func:`active_session`; read by the
+#: lattice loops at their level/phase boundaries.
+ACTIVE: Any | None = None
+
+
+@contextmanager
+def active_session(session: Any | None) -> Iterator[None]:
+    """Install ``session`` as the process-wide active checkpoint session
+    for the enclosed execution (``None`` is a no-op, like ``guarded``)."""
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = session
+    try:
+        yield
+    finally:
+        ACTIVE = previous
+
+
+# -- state-encoding helpers -------------------------------------------------
+#
+# Checkpoint state must be JSON: no pickles (a checkpoint written by a
+# dying process is untrusted input on resume) and no Python-only types.
+# These helpers round-trip the three awkward shapes exactly.
+
+
+def pli_state(pli: Any) -> dict[str, Any]:
+    """JSON form of one PLI (canonical stripped clusters + row count)."""
+    return {
+        "clusters": [list(cluster) for cluster in pli.clusters],
+        "rows": pli.n_rows,
+    }
+
+
+def pli_from_state(state: Mapping[str, Any]) -> Any:
+    """Rebuild a PLI from :func:`pli_state` via the validating constructor."""
+    from .pli.pli import PLI
+
+    return PLI(state["clusters"], state["rows"])
+
+
+def mask_items(mapping: Mapping[int, Any]) -> list[list[Any]]:
+    """Encode an int-keyed mapping as an iteration-ordered pair list.
+
+    JSON objects stringify keys and some frontier dicts (FUN's free-set
+    levels) have *semantic* iteration order, so a plain ``dict`` dump
+    would corrupt both the keys and the order.
+    """
+    return [[int(key), value] for key, value in mapping.items()]
+
+
+def mask_dict(items: Any) -> dict[int, Any]:
+    """Decode :func:`mask_items` back to an insertion-ordered dict."""
+    return {int(key): value for key, value in items}
+
+
+def rng_state_to_json(rng: Any) -> list[Any]:
+    """JSON form of a :class:`random.Random` state (exact round-trip)."""
+    version, internal, gauss = rng.getstate()
+    return [version, list(internal), gauss]
+
+
+def rng_state_from_json(state: Any) -> tuple[Any, ...]:
+    """Decode :func:`rng_state_to_json` for :meth:`random.Random.setstate`."""
+    version, internal, gauss = state
+    return (version, tuple(internal), gauss)

@@ -21,6 +21,14 @@ structured per-phase trace of the run — spans per algorithm phase and
 lattice level with candidate/pruning counters — as JSONL, one event per
 line (schema: ``docs/trace_schema.json``), and prints the per-phase
 summary table after the profile.
+
+``--checkpoint-dir DIR`` (or ``$REPRO_CHECKPOINT_DIR``) makes the run
+restartable: the traversal snapshots its state at level/phase boundaries
+into DIR, SIGTERM/SIGINT stop the run cleanly with exit code 4 (the
+snapshot survives), and re-running the same command resumes from the last
+completed boundary with bit-identical results.  A budget-stopped run
+(exit code 3) keeps its snapshot too, so re-running without the budget
+continues instead of starting over.
 """
 
 from __future__ import annotations
@@ -31,11 +39,14 @@ import sys
 from collections.abc import Sequence
 
 from . import trace as _trace
+from .checkpointing import active_session
 from .core.profiler import ALGORITHMS, choose_algorithm, profile
 from .pli import backend as _pli_backend
 from .core.statistics import profile_statistics
 from .guard import Budget, BudgetExceeded, guarded
+from .harness.checkpoint import CheckpointStore
 from .harness.result_cache import DEFAULT_CACHE_DIR, ResultCache
+from .harness.signals import EXIT_INTERRUPTED, Interrupted, graceful_shutdown
 from .metadata.results import ProfilingResult
 from .metadata.serialize import dumps, result_from_dict, result_to_dict
 from .relation.csv_io import read_csv
@@ -161,6 +172,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-result-cache",
         action="store_true",
         help="always recompute; neither read nor write the result cache",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="snapshot the traversal state at level/phase boundaries into "
+        "DIR and resume from the last completed boundary when an earlier "
+        "run of the same input/configuration was killed, interrupted, or "
+        "budget-stopped (default: $REPRO_CHECKPOINT_DIR; checkpointing is "
+        "off when neither is set). Results are bit-identical to an "
+        "undisturbed run",
     )
     parser.add_argument(
         "--trace",
@@ -290,6 +312,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         "pli_backend": _pli_backend.ACTIVE.name,
     }
 
+    checkpoint_dir = args.checkpoint_dir or os.environ.get(
+        "REPRO_CHECKPOINT_DIR"
+    )
+    session = None
+    if checkpoint_dir:
+        # Keyed exactly like the result cache, so a resume only restores
+        # state produced by an identical (input, algorithm, config) run.
+        session = CheckpointStore(checkpoint_dir).session(
+            relation.fingerprint(), algorithm, cache_config
+        )
+        if session.load():
+            print(
+                f"resuming {algorithm} from checkpoint in {checkpoint_dir}",
+                file=sys.stderr,
+            )
+
     result = None
     if cache is not None:
         document = cache.get(relation.fingerprint(), algorithm, cache_config)
@@ -317,7 +355,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     exit_code = 0
     if result is None:
         try:
-            with guarded(budget):
+            with graceful_shutdown(), guarded(budget), active_session(session):
                 result = profile(
                     relation,
                     algorithm=algorithm,
@@ -326,6 +364,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                     jobs=args.jobs,
                     sampling=args.sampling,
                 )
+            if session is not None:
+                # Completed: the snapshot has nothing left to resume.
+                session.complete()
             if cache is not None:
                 try:
                     cache.put(
@@ -353,7 +394,26 @@ def main(argv: Sequence[str] | None = None) -> int:
                 "results below are partial",
                 file=sys.stderr,
             )
+            if session is not None:
+                # The snapshot survives: re-running without the budget
+                # resumes from the last completed boundary.
+                print(
+                    "checkpoint kept; re-run with --checkpoint-dir "
+                    f"{checkpoint_dir} to continue",
+                    file=sys.stderr,
+                )
             exit_code = 3
+        except Interrupted as error:
+            # Graceful shutdown: the journal/checkpoint finally blocks
+            # already flushed; report, keep the snapshot, exit distinctly.
+            print(f"{error}; stopping cleanly", file=sys.stderr)
+            if session is not None:
+                print(
+                    "checkpoint kept; re-running the same command resumes "
+                    "from the last completed boundary",
+                    file=sys.stderr,
+                )
+            return EXIT_INTERRUPTED
 
     stats_lines: list[str] = []
     if args.stats:

@@ -37,8 +37,10 @@ import random
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
 from typing import Any
 
+from .. import checkpointing as _ckpt
 from .. import trace as _trace
 from ..algorithms.ducc import DuccResult, ducc
 from ..algorithms.fun import FunResult, fun
@@ -175,29 +177,80 @@ class BaselineProfiler:
         inds: list[tuple[int, int]] = []
         ucc_masks: list[int] = []
         fd_pairs: list[tuple[int, int]] = []
-        try:
-            started = time.perf_counter()
-            with _trace.span("baseline.spider"):
-                inds = spider(index)
-            timings["spider"] = time.perf_counter() - started
 
-            started = time.perf_counter()
-            with _trace.span("baseline.ducc"):
-                ducc_result = ducc(index, rng=random.Random(self.seed))
-            timings["ducc"] = time.perf_counter() - started
-            counters["ucc_checks"] = ducc_result.checks
-            ucc_masks = ducc_result.minimal_uccs
-            ducc_intersections = index.intersections - fun_intersections_before
+        # Checkpoint composition: each task saves its own in-phase
+        # boundaries ("spider" merge strides, "ducc.search" walks, "fun"
+        # levels); the context provider records which tasks completed plus
+        # the substrate state a fresh process cannot rederive, with the
+        # intersections delta rebased so the resumed totals equal
+        # pre-crash work + replay.
+        ckpt = _ckpt.ACTIVE
+        done = 0
+        ducc_intersections = 0
 
-            started = time.perf_counter()
-            with _trace.span("baseline.fun"):
-                fun_result = fun(index)
-            timings["fun"] = time.perf_counter() - started
-            fd_pairs = fun_result.fds
-            counters["fd_checks"] = fun_result.fd_checks
-            counters["pli_intersections"] = (
-                ducc_intersections + fun_result.intersections
+        def progress() -> dict:
+            return {
+                "done": done,
+                "inds": [list(pair) for pair in inds],
+                "ucc_masks": list(ucc_masks),
+                "counters": dict(counters),
+                "ducc_intersections": ducc_intersections,
+                "intersections_so_far": (
+                    index.intersections - fun_intersections_before
+                ),
+                "index": index.state(),
+            }
+
+        saved = ckpt.resume("baseline") if ckpt is not None else None
+        if saved is not None:
+            done = saved["done"]
+            inds = [tuple(pair) for pair in saved["inds"]]
+            ucc_masks = list(saved["ucc_masks"])
+            counters = dict(saved["counters"])
+            ducc_intersections = saved["ducc_intersections"]
+            index.restore(saved["index"])
+            fun_intersections_before = (
+                index.intersections - saved["intersections_so_far"]
             )
+
+        try:
+            with (
+                ckpt.context("baseline", progress)
+                if ckpt is not None
+                else nullcontext()
+            ):
+                if done < 1:
+                    started = time.perf_counter()
+                    with _trace.span("baseline.spider"):
+                        inds = spider(index)
+                    timings["spider"] = time.perf_counter() - started
+                    done = 1
+                    if ckpt is not None:
+                        ckpt.boundary("baseline", progress())
+
+                if done < 2:
+                    started = time.perf_counter()
+                    with _trace.span("baseline.ducc"):
+                        ducc_result = ducc(index, rng=random.Random(self.seed))
+                    timings["ducc"] = time.perf_counter() - started
+                    counters["ucc_checks"] = ducc_result.checks
+                    ucc_masks = ducc_result.minimal_uccs
+                    ducc_intersections = (
+                        index.intersections - fun_intersections_before
+                    )
+                    done = 2
+                    if ckpt is not None:
+                        ckpt.boundary("baseline", progress())
+
+                started = time.perf_counter()
+                with _trace.span("baseline.fun"):
+                    fun_result = fun(index)
+                timings["fun"] = time.perf_counter() - started
+                fd_pairs = fun_result.fds
+                counters["fd_checks"] = fun_result.fd_checks
+                counters["pli_intersections"] = (
+                    ducc_intersections + fun_result.intersections
+                )
         except BudgetExceeded as error:
             self._record_clocks(timings, wall_started)
             if error.partial_result is None:

@@ -10,6 +10,9 @@ one of the "shared data structures" the holistic approach advertises (§1).
 
 from __future__ import annotations
 
+from typing import Any
+
+from .. import checkpointing as _ckpt
 from ..pli.index import RelationIndex
 
 __all__ = ["CheckCache"]
@@ -57,3 +60,25 @@ class CheckCache:
         """Left-hand sides already observed to determine ``rhs``."""
         rhs_bit = 1 << rhs_index
         return [lhs for lhs, valid in self._valid.items() if valid & rhs_bit]
+
+    # -- checkpoint round-trip --------------------------------------------
+
+    def state(self) -> dict[str, Any]:
+        """JSON form of the memo (for intra-execution checkpoints).
+
+        The memo is part of a resumed MUDS run's exactness argument:
+        restoring it makes the replay skip exactly the PLI checks the
+        undisturbed run would have skipped, keeping ``fd_checks`` and
+        ``memo_hits`` identical.
+        """
+        return {
+            "tested": _ckpt.mask_items(self._tested),
+            "valid": _ckpt.mask_items(self._valid),
+            "memo_hits": self.memo_hits,
+        }
+
+    def restore(self, state: dict[str, Any]) -> None:
+        """Overwrite the memo with a :meth:`state` snapshot."""
+        self._tested = _ckpt.mask_dict(state["tested"])
+        self._valid = _ckpt.mask_dict(state["valid"])
+        self.memo_hits = state["memo_hits"]

@@ -13,7 +13,9 @@ execution on row-dominated datasets (Fig. 6).
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 
+from .. import checkpointing as _ckpt
 from .. import trace as _trace
 from ..algorithms.fun import FunResult, fun
 from ..algorithms.spider import spider
@@ -57,16 +59,46 @@ class HolisticFun:
         phase_seconds = {"read_and_pli": read_seconds}
         inds: list[tuple[int, int]] = []
 
-        try:
-            started = time.perf_counter()
-            with _trace.span("hfun.spider"):
-                inds = spider(index)
-            phase_seconds["spider"] = time.perf_counter() - started
+        # Checkpoint composition: SPIDER and FUN save their own in-phase
+        # boundaries ("spider" merge strides, "fun" lattice levels); the
+        # context provider rides along with each of those, recording which
+        # phase completed plus the substrate state (planner counters) a
+        # fresh process cannot rederive.
+        ckpt = _ckpt.ACTIVE
+        done = 0
 
-            started = time.perf_counter()
-            with _trace.span("hfun.fun"):
-                fun_result = fun(index)
-            phase_seconds["fun"] = time.perf_counter() - started
+        def progress() -> dict:
+            return {
+                "done": done,
+                "inds": [list(pair) for pair in inds],
+                "index": index.state(),
+            }
+
+        saved = ckpt.resume("hfun") if ckpt is not None else None
+        if saved is not None:
+            done = saved["done"]
+            inds = [tuple(pair) for pair in saved["inds"]]
+            index.restore(saved["index"])
+
+        try:
+            with (
+                ckpt.context("hfun", progress)
+                if ckpt is not None
+                else nullcontext()
+            ):
+                if done < 1:
+                    started = time.perf_counter()
+                    with _trace.span("hfun.spider"):
+                        inds = spider(index)
+                    phase_seconds["spider"] = time.perf_counter() - started
+                    done = 1
+                    if ckpt is not None:
+                        ckpt.boundary("hfun", progress())
+
+                started = time.perf_counter()
+                with _trace.span("hfun.fun"):
+                    fun_result = fun(index)
+                phase_seconds["fun"] = time.perf_counter() - started
         except BudgetExceeded as error:
             if error.partial_result is None:
                 partial = (

@@ -28,8 +28,10 @@ from __future__ import annotations
 
 import random
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
+from .. import checkpointing as _ckpt
 from .. import trace as _trace
 from ..algorithms.ducc import DuccResult, ducc
 from ..algorithms.spider import spider
@@ -174,70 +176,153 @@ class Muds:
         fds: dict[int, int] = {}
         cache: CheckCache | None = None
 
+        # Checkpoint composition: ``done`` counts completed phases; the
+        # context provider snapshots the full inter-phase state (metadata
+        # so far, rng, the check-cache memo, and the substrate-counter
+        # *deltas* accumulated so far) alongside every inner boundary a
+        # phase saves (spider merge steps, DUCC walks, R∖Z sub-lattices),
+        # and MUDS saves its own boundary at each phase edge.  On resume
+        # the counter bases are rebased so `_account`'s deltas equal
+        # base-so-far + replayed work — identical to an undisturbed run.
+        ckpt = _ckpt.ACTIVE
+        done = 0
+        shadow_done = 0
+        tasks_total = 0
+
+        def progress() -> dict:
+            return {
+                "done": done,
+                "shadow_done": shadow_done,
+                "tasks_total": tasks_total,
+                "inds": [list(pair) for pair in report.inds],
+                "uccs": list(report.minimal_uccs),
+                "counters": dict(report.counters),
+                "fds": _ckpt.mask_items(fds),
+                "rng": _ckpt.rng_state_to_json(rng),
+                "base": {
+                    "fd_checks": index.fd_checks - fd_checks_before,
+                    "intersections": index.intersections - intersections_before,
+                },
+                "cache": cache.state() if cache is not None else None,
+                "index": index.state(),
+            }
+
+        saved = ckpt.resume("muds") if ckpt is not None else None
+        if saved is not None:
+            done = saved["done"]
+            shadow_done = saved["shadow_done"]
+            tasks_total = saved["tasks_total"]
+            report.inds = [tuple(pair) for pair in saved["inds"]]
+            report.minimal_uccs = list(saved["uccs"])
+            report.counters = dict(saved["counters"])
+            fds = _ckpt.mask_dict(saved["fds"])
+            rng.setstate(_ckpt.rng_state_from_json(saved["rng"]))
+            # Restoring the index (composite-PLI cache + counters) first,
+            # then rebasing the deltas, makes `_account` report exactly the
+            # undisturbed run's totals: pre-crash work + replay.
+            index.restore(saved["index"])
+            fd_checks_before = index.fd_checks - saved["base"]["fd_checks"]
+            intersections_before = (
+                index.intersections - saved["base"]["intersections"]
+            )
+
+        def phase_edge() -> None:
+            if ckpt is not None:
+                ckpt.boundary("muds", progress())
+
         try:
-            # Phase 1: SPIDER on the shared duplicate-free value lists.
-            with timer("spider"):
-                report.inds = spider(index)
+            with (
+                ckpt.context("muds", progress)
+                if ckpt is not None
+                else nullcontext()
+            ):
+                # Phase 1: SPIDER on the shared duplicate-free value lists.
+                if done < 1:
+                    with timer("spider"):
+                        report.inds = spider(index)
+                    done = 1
+                    phase_edge()
 
-            # Phase 2: DUCC on the shared PLIs.
-            with timer("ducc"):
-                ducc_result = ducc(index, rng=rng)
-            report.minimal_uccs = ducc_result.minimal_uccs
-            report.counters["ucc_checks"] = ducc_result.checks
+                # Phase 2: DUCC on the shared PLIs.
+                if done < 2:
+                    with timer("ducc"):
+                        ducc_result = ducc(index, rng=rng)
+                    report.minimal_uccs = ducc_result.minimal_uccs
+                    report.counters["ucc_checks"] = ducc_result.checks
+                    done = 2
+                    phase_edge()
 
-            z_mask = 0
-            for ucc in report.minimal_uccs:
-                z_mask |= ucc
-            ucc_tree = PrefixTree(report.minimal_uccs)
-            cache = CheckCache(index)
+                z_mask = 0
+                for ucc in report.minimal_uccs:
+                    z_mask |= ucc
+                ucc_tree = PrefixTree(report.minimal_uccs)
+                cache = CheckCache(index)
+                if saved is not None and saved["cache"] is not None:
+                    cache.restore(saved["cache"])
 
-            # Phase 3a: FDs in connected minimal UCCs (Algorithm 1).
-            with timer("minimize_fds"):
-                fds = minimize_fds_from_uccs(
-                    cache, ucc_tree, report.minimal_uccs, z_mask
-                )
+                # Phase 3a: FDs in connected minimal UCCs (Algorithm 1).
+                if done < 3:
+                    with timer("minimize_fds"):
+                        fds = minimize_fds_from_uccs(
+                            cache, ucc_tree, report.minimal_uccs, z_mask
+                        )
+                    done = 3
+                    phase_edge()
 
-            # Phase 3b: sub-lattice walks for rhs ∈ R∖Z.
-            with timer("calculate_r_minus_z"):
-                rz_fds, rz_stats = discover_r_minus_z(
-                    index,
-                    report.minimal_uccs,
-                    z_mask,
-                    rng,
-                    use_ucc_pruning=self.use_ucc_pruning,
-                )
-            for lhs, rhs_mask in rz_fds.items():
-                fds[lhs] = fds.get(lhs, 0) | rhs_mask
-            report.counters["sublattices"] = rz_stats.sublattices
-            report.counters["sublattice_checks"] = rz_stats.fd_checks
+                # Phase 3b: sub-lattice walks for rhs ∈ R∖Z.
+                if done < 4:
+                    with timer("calculate_r_minus_z"):
+                        rz_fds, rz_stats = discover_r_minus_z(
+                            index,
+                            report.minimal_uccs,
+                            z_mask,
+                            rng,
+                            use_ucc_pruning=self.use_ucc_pruning,
+                            checkpoint_stage="muds.rz",
+                        )
+                    for lhs, rhs_mask in rz_fds.items():
+                        fds[lhs] = fds.get(lhs, 0) | rhs_mask
+                    report.counters["sublattices"] = rz_stats.sublattices
+                    report.counters["sublattice_checks"] = rz_stats.fd_checks
+                    done = 4
+                    phase_edge()
 
-            # Phase 3c: shadowed FDs (Algorithms 2–4).
-            tasks_total = 0
-            for _ in range(self.shadowed_passes):
-                with timer("generate_shadowed_tasks"):
-                    tasks = generate_shadowed_tasks(cache, ucc_tree, fds)
-                tasks_total += len(tasks)
-                with timer("minimize_shadowed_tasks"):
-                    minimize_shadowed_tasks(cache, tasks, fds)
-                if not tasks:
-                    break
-            report.counters["shadowed_tasks"] = tasks_total
+                # Phase 3c: shadowed FDs (Algorithms 2–4).
+                if done < 5:
+                    for _ in range(shadow_done, self.shadowed_passes):
+                        with timer("generate_shadowed_tasks"):
+                            tasks = generate_shadowed_tasks(cache, ucc_tree, fds)
+                        tasks_total += len(tasks)
+                        with timer("minimize_shadowed_tasks"):
+                            minimize_shadowed_tasks(cache, tasks, fds)
+                        shadow_done += 1
+                        phase_edge()
+                        if not tasks:
+                            break
+                    report.counters["shadowed_tasks"] = tasks_total
+                    done = 5
+                    phase_edge()
 
-            # Published phases can emit a valid-but-not-minimal FD when the
-            # connector lookup never offered the smaller lhs for checking;
-            # re-minimizing every discovered FD top-down (the Algorithm 4
-            # machinery over the shared check cache, so already-performed
-            # checks are free) guarantees all output FDs are minimal.
-            with timer("final_minimization"):
-                minimized: dict[int, int] = {}
-                minimize_shadowed_tasks(cache, list(fds.items()), minimized)
-                fds = minimized
+                # Published phases can emit a valid-but-not-minimal FD when
+                # the connector lookup never offered the smaller lhs for
+                # checking; re-minimizing every discovered FD top-down (the
+                # Algorithm 4 machinery over the shared check cache, so
+                # already-performed checks are free) guarantees all output
+                # FDs are minimal.
+                if done < 6:
+                    with timer("final_minimization"):
+                        minimized: dict[int, int] = {}
+                        minimize_shadowed_tasks(cache, list(fds.items()), minimized)
+                        fds = minimized
+                    done = 6
+                    phase_edge()
 
-            if self.verify_completeness:
-                with timer("completion_walk"):
-                    self._complete_z_rhs(
-                        index, cache, ucc_tree, report, fds, z_mask, rng
-                    )
+                if self.verify_completeness and done < 7:
+                    with timer("completion_walk"):
+                        self._complete_z_rhs(
+                            index, cache, ucc_tree, report, fds, z_mask, rng
+                        )
+                    done = 7
         except BudgetExceeded as error:
             if not report.minimal_uccs and isinstance(error.partial, DuccResult):
                 # Budget ran out mid-DUCC: its confirmed positives are
@@ -289,7 +374,17 @@ class Muds:
         with everything already known (found FDs, UCCs, rule-1 negatives,
         and all cached check outcomes)."""
         universe = full_mask(index.n_columns)
+        ckpt = _ckpt.ACTIVE
+        done: list[int] = []
+        state = ckpt.resume("muds.completion") if ckpt is not None else None
+        if state is not None:
+            done = list(state["done"])
+            fds.clear()
+            fds.update(_ckpt.mask_dict(state["fds"]))
+            rng.setstate(_ckpt.rng_state_from_json(state["rng"]))
         for rhs in iter_bits(z_mask):
+            if rhs in done:
+                continue
             sub_universe = universe & ~bit(rhs)
             positives = [
                 ucc for ucc in report.minimal_uccs if not ucc >> rhs & 1
@@ -316,6 +411,16 @@ class Muds:
                     del fds[lhs]
             for lhs in minimal_lhs:
                 fds[lhs] = fds.get(lhs, 0) | rhs_bit
+            done.append(rhs)
+            if ckpt is not None:
+                ckpt.boundary(
+                    "muds.completion",
+                    {
+                        "done": done,
+                        "fds": _ckpt.mask_items(fds),
+                        "rng": _ckpt.rng_state_to_json(rng),
+                    },
+                )
 
 
 class _PhaseTimer:

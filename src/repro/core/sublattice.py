@@ -19,6 +19,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from .. import checkpointing as _ckpt
 from ..lattice.search import LatticeSearch
 from ..pli.index import RelationIndex
 from ..relation.columnset import bit, full_mask, iter_bits
@@ -44,6 +45,7 @@ def discover_r_minus_z(
     z_mask: int,
     rng: random.Random,
     use_ucc_pruning: bool = True,
+    checkpoint_stage: str | None = None,
 ) -> tuple[dict[int, int], SublatticeStats]:
     """Find all minimal FDs whose rhs lies outside every minimal UCC.
 
@@ -51,11 +53,28 @@ def discover_r_minus_z(
     ``use_ucc_pruning`` exists for the ablation benchmark; disabling it
     removes the known-positive seeding (§5.2's inter-task pruning) but not
     correctness.
+
+    With ``checkpoint_stage`` set, a boundary is saved after each
+    completed rhs sub-lattice (not intra-walk: the rng snapshot taken
+    before a sub-lattice starts replays a killed walk in full).
     """
     universe = full_mask(index.n_columns)
     stats = SublatticeStats()
     fds: dict[int, int] = {}
+    ckpt = _ckpt.ACTIVE if checkpoint_stage is not None else None
+    done: list[int] = []
+    state = ckpt.resume(checkpoint_stage) if ckpt is not None else None
+    if state is not None:
+        done = list(state["done"])
+        fds = _ckpt.mask_dict(state["fds"])
+        stats.sublattices = state["sublattices"]
+        stats.fd_checks = state["fd_checks"]
+        stats.hole_rounds = state["hole_rounds"]
+        stats.max_non_fds = _ckpt.mask_dict(state["max_non_fds"])
+        rng.setstate(_ckpt.rng_state_from_json(state["rng"]))
     for rhs in iter_bits(universe & ~z_mask):
+        if rhs in done:
+            continue
         sub_universe = universe & ~bit(rhs)
         # Every minimal UCC avoids rhs (rhs ∈ R∖Z), so all of them live in
         # this sub-lattice and are valid positive seeds.
@@ -73,4 +92,18 @@ def discover_r_minus_z(
         stats.max_non_fds[rhs] = max_negative
         for lhs in minimal_lhs:
             fds[lhs] = fds.get(lhs, 0) | bit(rhs)
+        done.append(rhs)
+        if ckpt is not None:
+            ckpt.boundary(
+                checkpoint_stage,
+                {
+                    "done": done,
+                    "fds": _ckpt.mask_items(fds),
+                    "sublattices": stats.sublattices,
+                    "fd_checks": stats.fd_checks,
+                    "hole_rounds": stats.hole_rounds,
+                    "max_non_fds": _ckpt.mask_items(stats.max_non_fds),
+                    "rng": _ckpt.rng_state_to_json(rng),
+                },
+            )
     return fds, stats

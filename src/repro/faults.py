@@ -31,6 +31,10 @@ __all__ = [
     "CACHE_PUT",
     "PROFILER_STEP",
     "SAMPLING_HARVEST",
+    "CHECKPOINT_SAVE",
+    "CHECKPOINT_LOAD",
+    "RESULT_CACHE_GET",
+    "RESULT_CACHE_PUT",
     "FAULT_POINTS",
     "FaultInjected",
     "FaultRegistry",
@@ -47,9 +51,30 @@ PROFILER_STEP = "profiler.step"
 #: Fault point hit once per row selected by the sampling engine's
 #: violation harvester (:func:`repro.sampling.harvester.focused_sample`).
 SAMPLING_HARVEST = "sampling.harvest"
+#: Fault point hit once per checkpoint-file write attempt
+#: (:meth:`repro.harness.checkpoint.CheckpointSession.boundary`).
+CHECKPOINT_SAVE = "checkpoint.save"
+#: Fault point hit once per checkpoint-file read attempt
+#: (:meth:`repro.harness.checkpoint.CheckpointSession.load`).
+CHECKPOINT_LOAD = "checkpoint.load"
+#: Fault point hit once per result-cache read attempt
+#: (:meth:`repro.harness.result_cache.ResultCache.get`).
+RESULT_CACHE_GET = "result_cache.get"
+#: Fault point hit once per result-cache write attempt
+#: (:meth:`repro.harness.result_cache.ResultCache.put`).
+RESULT_CACHE_PUT = "result_cache.put"
 
 #: Every fault point compiled into the substrate.
-FAULT_POINTS = (CSV_READ, CACHE_PUT, PROFILER_STEP, SAMPLING_HARVEST)
+FAULT_POINTS = (
+    CSV_READ,
+    CACHE_PUT,
+    PROFILER_STEP,
+    SAMPLING_HARVEST,
+    CHECKPOINT_SAVE,
+    CHECKPOINT_LOAD,
+    RESULT_CACHE_GET,
+    RESULT_CACHE_PUT,
+)
 
 
 class FaultInjected(RuntimeError):

@@ -34,6 +34,7 @@ import time
 from contextlib import contextmanager
 from typing import Iterator
 
+from . import liveness as _liveness
 from .faults import FAULTS, PROFILER_STEP
 
 __all__ = [
@@ -243,15 +244,19 @@ def active_budget() -> Budget | None:
 def checkpoint() -> None:
     """Cooperative guard point for algorithm loops.
 
-    No-op (two global reads) when no budget is active and no fault is
-    armed; otherwise enforces the active budget's deadline and trips the
-    :data:`~repro.faults.PROFILER_STEP` fault point.
+    No-op (three global reads) when no budget is active, no fault is
+    armed, and no heartbeat is armed; otherwise enforces the active
+    budget's deadline, trips the :data:`~repro.faults.PROFILER_STEP`
+    fault point, and refreshes the worker liveness heartbeat.
     """
     budget = ACTIVE
     if budget is not None:
         budget.checkpoint()
     if FAULTS.armed:
         FAULTS.trip(PROFILER_STEP)
+    heartbeat = _liveness.ACTIVE
+    if heartbeat is not None:
+        heartbeat.beat()
 
 
 @contextmanager

@@ -1,7 +1,18 @@
 """Metanome-like execution framework, experiment runner, and reporting."""
 
-from .budget import Budget, BudgetExceeded, checkpoint, guarded
-from .faults import FAULTS, FaultInjected, fault_suite_enabled
+# Imported first so ``repro.harness.checkpoint`` always names the
+# submodule: the guard's cooperative tick *function* of the same name is
+# deliberately not re-exported here (use ``repro.guard.checkpoint`` or
+# ``repro.harness.budget.checkpoint``).
+from . import checkpoint  # noqa: F401  (binds the submodule name)
+from .budget import Budget, BudgetExceeded, guarded
+from .checkpoint import CheckpointSession, CheckpointStore, SimulatedCrash
+from .faults import (
+    FAULTS,
+    FaultInjected,
+    chaos_suite_enabled,
+    fault_suite_enabled,
+)
 from .framework import (
     STATUS_MARKERS,
     Execution,
@@ -15,32 +26,43 @@ from .parallel import FrameworkSpec, WorkloadSpec, default_jobs
 from .profile_report import render_profile_report, render_trace_table
 from .reporting import ascii_table, markdown_table, series_block
 from .result_cache import DEFAULT_CACHE_DIR, ResultCache
+from .retry import RetryPolicy
 from .runner import ExperimentRunner, SweepJournal, SweepPoint, sweep_table
+from .signals import EXIT_INTERRUPTED, Interrupted, graceful_shutdown
 from .trace import Tracer, trace_summary
+from .watchdog import Watchdog
 
 __all__ = [
     "Budget",
     "BudgetExceeded",
+    "CheckpointSession",
+    "CheckpointStore",
     "DEFAULT_CACHE_DIR",
+    "EXIT_INTERRUPTED",
     "Execution",
     "ExperimentRunner",
     "FAULTS",
     "FaultInjected",
     "Framework",
     "FrameworkSpec",
+    "Interrupted",
     "MetadataDisagreement",
     "Profiler",
     "ResultCache",
+    "RetryPolicy",
     "STATUS_MARKERS",
+    "SimulatedCrash",
     "SweepJournal",
     "SweepPoint",
     "Tracer",
+    "Watchdog",
     "WorkloadSpec",
     "ascii_table",
-    "checkpoint",
+    "chaos_suite_enabled",
     "default_framework",
     "default_jobs",
     "fault_suite_enabled",
+    "graceful_shutdown",
     "guarded",
     "markdown_table",
     "render_profile_report",

@@ -2,39 +2,55 @@
 
 The registry itself lives in the import-order-neutral :mod:`repro.faults`
 so the CSV reader and the PLI cache can trip fault points without
-importing the harness; this module re-exports the public names and adds
-the environment gate used by CI: the dedicated fault-injection test suite
-runs only when ``REPRO_FAULTS=1`` (a second CI step), keeping the tier-1
-job lean while the failure paths still get exercised on every push.
+importing the harness.  This module used to mirror the point constants by
+hand, which meant every new point had to be registered twice (and PR 7's
+``checkpoint.*`` / ``result_cache.*`` points would have made the twin
+lists drift).  It is now a *dynamic* deprecation re-export: any public
+name of :mod:`repro.faults` resolves here through :pep:`562` module
+``__getattr__``, so fault points are registered in exactly one place.
+
+What this module adds on top are the environment gates used by CI: the
+dedicated fault-injection suite runs only when ``REPRO_FAULTS=1`` and the
+chaos campaign only when ``REPRO_CHAOS=1`` (separate CI steps), keeping
+the tier-1 job lean while the failure paths still get exercised on every
+push.
 """
 
 from __future__ import annotations
 
 import os
+from typing import Any
 
-from ..faults import (
-    CACHE_PUT,
-    CSV_READ,
-    FAULT_POINTS,
-    FAULTS,
-    PROFILER_STEP,
-    FaultInjected,
-    FaultRegistry,
-)
+from .. import faults as _faults
 
-__all__ = [
-    "CACHE_PUT",
-    "CSV_READ",
-    "FAULT_POINTS",
-    "FAULTS",
-    "PROFILER_STEP",
-    "FaultInjected",
-    "FaultRegistry",
+__all__ = list(_faults.__all__) + [
+    "chaos_suite_enabled",
     "fault_suite_enabled",
 ]
+
+
+def __getattr__(name: str) -> Any:
+    """Delegate the registry's public names to :mod:`repro.faults`.
+
+    Restricted to ``repro.faults.__all__`` so typos still raise
+    :class:`AttributeError` instead of silently resolving to registry
+    internals.
+    """
+    if name in _faults.__all__:
+        return getattr(_faults, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))
 
 
 def fault_suite_enabled() -> bool:
     """True when the dedicated fault-injection suite should run
     (``REPRO_FAULTS=1`` in the environment)."""
     return os.environ.get("REPRO_FAULTS") == "1"
+
+
+def chaos_suite_enabled() -> bool:
+    """True when the chaos campaign should run (``REPRO_CHAOS=1``)."""
+    return os.environ.get("REPRO_CHAOS") == "1"

@@ -29,10 +29,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Protocol
 
 from .. import trace as _trace
+from ..checkpointing import active_session
 from ..core.baseline import SequentialBaseline
 from ..core.holistic_fun import HolisticFun
 from ..core.muds import Muds
 from ..guard import Budget, BudgetExceeded, guarded
+from .checkpoint import CheckpointStore
+from .signals import Interrupted
 from ..metadata.results import ProfilingResult, fd_signature, ucc_signature
 from ..metadata.serialize import result_from_dict, result_to_dict
 from ..pli import backend as _backend
@@ -54,7 +57,13 @@ __all__ = [
 #: Report markers per execution status — Metanome's table-cell notation:
 #: TL = time limit (deadline or work budget), ML = memory limit,
 #: ERR = crash.  ``"ok"`` renders as no marker.
-STATUS_MARKERS = {"ok": "", "timeout": "TL", "memory": "ML", "error": "ERR"}
+STATUS_MARKERS = {
+    "ok": "",
+    "timeout": "TL",
+    "memory": "ML",
+    "error": "ERR",
+    "interrupted": "INT",
+}
 
 
 class Profiler(Protocol):
@@ -92,6 +101,11 @@ class Execution:
     #: instead of being computed; ``seconds`` then reports the *original*
     #: compute time, not the (near-zero) lookup time.
     cached: bool = False
+    #: True when this execution continued from an intra-execution
+    #: checkpoint instead of starting fresh (``seconds`` then covers only
+    #: the resumed portion; the discovered metadata is bit-identical to an
+    #: undisturbed run's).
+    resumed: bool = False
 
     @property
     def counts(self) -> tuple[int, int, int]:
@@ -111,8 +125,11 @@ class Execution:
     # -- journal (de)serialization ----------------------------------------
 
     def to_record(self) -> dict[str, Any]:
-        """JSON-ready form for the sweep journal (lossless round-trip)."""
-        return {
+        """JSON-ready form for the sweep journal (lossless round-trip).
+
+        ``resumed`` rides along only when set, so pre-checkpoint journals
+        keep their wire format byte for byte."""
+        record = {
             "algorithm": self.algorithm,
             "dataset": self.dataset,
             "n_columns": self.n_columns,
@@ -125,6 +142,9 @@ class Execution:
             "cached": self.cached,
             "result": result_to_dict(self.result),
         }
+        if self.resumed:
+            record["resumed"] = True
+        return record
 
     @classmethod
     def from_record(cls, record: Mapping[str, Any]) -> "Execution":
@@ -141,6 +161,7 @@ class Execution:
             status=record.get("status", "ok"),
             error=record.get("error"),
             cached=record.get("cached", False),
+            resumed=record.get("resumed", False),
         )
 
 
@@ -277,6 +298,8 @@ class Framework:
         budget: Budget | None = None,
         cache: "ResultCache | None" = None,
         cache_config: Mapping[str, Any] | str | None = None,
+        checkpoints: CheckpointStore | None = None,
+        resume: bool = True,
     ) -> Execution:
         """Execute one registered algorithm on one relation.
 
@@ -299,6 +322,19 @@ class Framework:
         the input, and a caller imposing limits expects the work to be
         bounded, not skipped.  ``cache_config`` must carry whatever else
         (seed, variant flags) can change this algorithm's output.
+
+        With ``checkpoints``, the execution runs under an intra-execution
+        checkpoint session keyed by (relation fingerprint, algorithm,
+        ``cache_config``): the profiler snapshots its traversal state at
+        level/phase boundaries, and when ``resume`` (default) finds a
+        snapshot from an earlier killed or budget-stopped run, the
+        execution continues from the last completed boundary with
+        bit-identical final results (:attr:`Execution.resumed` is set).
+        A completed (``ok``) execution deletes its checkpoint; TL/ML/ERR
+        and interrupted executions keep it for the next attempt.  A
+        SIGTERM/SIGINT delivered under :func:`~repro.harness.signals.graceful_shutdown`
+        is recorded as a ``status="interrupted"`` execution and re-raised
+        so the caller can exit cleanly.
         """
         try:
             factory = self._profilers[name]
@@ -332,6 +368,15 @@ class Framework:
                     return execution
         profiler = factory()
         status, error_message = "ok", None
+        session = None
+        if checkpoints is not None:
+            session = checkpoints.session(
+                relation.fingerprint(), name, cache_config
+            )
+            if resume:
+                session.load()
+            else:
+                session.discard()
         kernel_before = KERNEL_STATS.snapshot()
         tracer = _trace.ACTIVE
         run_span = (
@@ -346,10 +391,11 @@ class Framework:
             if tracer is not None
             else _trace.NULL_SPAN
         )
+        interrupt: Interrupted | None = None
         with run_span:
             started = time.perf_counter()
             try:
-                with guarded(budget):
+                with guarded(budget), active_session(session):
                     result = profiler.profile(relation)
             except BudgetExceeded as error:
                 status = error.reason
@@ -360,6 +406,14 @@ class Framework:
                     if isinstance(partial, ProfilingResult)
                     else _empty_result(relation)
                 )
+            except Interrupted as error:
+                # Graceful shutdown: record the interruption (the active
+                # checkpoint survives for the next attempt) and re-raise —
+                # unlike a budget stop, the *caller* asked to wind down.
+                status = "interrupted"
+                error_message = str(error)
+                result = _empty_result(relation)
+                interrupt = error
             except MemoryError:
                 status = "memory"
                 error_message = "MemoryError"
@@ -381,12 +435,31 @@ class Framework:
             kernel=KERNEL_STATS.delta(kernel_before),
             status=status,
             error=error_message,
+            resumed=session.restored if session is not None else False,
         )
+        if session is not None and execution.ok:
+            # Only a completed run retires its checkpoint; TL/ML/ERR and
+            # interrupted runs keep the file so the next attempt resumes.
+            session.complete()
         if cache is not None and budget is None and execution.ok:
-            cache.put(
-                relation.fingerprint(), name, execution.to_record(), cache_config
-            )
+            try:
+                cache.put(
+                    relation.fingerprint(),
+                    name,
+                    execution.to_record(),
+                    cache_config,
+                )
+            except OSError as error:
+                # A broken result cache must not fail a completed run.
+                _trace.event(
+                    "cache.put_failed",
+                    algorithm=name,
+                    dataset=relation.name,
+                    error=f"{type(error).__name__}: {error}",
+                )
         self.executions.append(execution)
+        if interrupt is not None:
+            raise interrupt
         return execution
 
     def run_all(

@@ -38,11 +38,15 @@ from __future__ import annotations
 
 import os
 import pickle
+import shutil
+import tempfile
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from contextlib import nullcontext
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterator, Mapping
 
+from .. import liveness as _liveness
 from .. import trace as _trace
 from ..guard import Budget
 from ..pli import backend as _backend
@@ -54,7 +58,9 @@ from .framework import (
     resolve_budget,
     verify_agreement,
 )
+from .checkpoint import CheckpointStore
 from .result_cache import ResultCache
+from .watchdog import Watchdog
 
 __all__ = [
     "WorkloadSpec",
@@ -163,6 +169,15 @@ class PointTask:
     #: selection is process-global, so the parent's choice must travel
     #: explicitly — a spawned worker does not inherit it.
     pli_backend: str | None = None
+    #: Directory of per-pid liveness files for the parent's hung-worker
+    #: watchdog (``None`` leaves the worker silent); filled in by
+    #: :func:`run_sweep_points` when a watchdog grace is armed.
+    heartbeat_dir: str | None = None
+    #: Minimum spacing between heartbeat file touches, in seconds.
+    heartbeat_interval: float = 1.0
+    #: Checkpoint-store directory for intra-execution restart snapshots
+    #: (opened per worker), or ``None`` to disable.
+    checkpoint_root: str | None = None
 
 
 def execute_point_record(task: PointTask) -> dict[str, Any]:
@@ -177,6 +192,23 @@ def execute_point_record(task: PointTask) -> dict[str, Any]:
     """
     from .runner import SweepPoint  # deferred: runner imports this module
 
+    if task.heartbeat_dir is not None:
+        # Arm this worker's liveness heartbeat: the guard checkpoint hook
+        # inside every lattice loop refreshes the per-pid file, so the
+        # parent's watchdog sees a fresh mtime while the point progresses.
+        _liveness.arm(
+            os.path.join(task.heartbeat_dir, f"{os.getpid()}.hb"),
+            interval=task.heartbeat_interval,
+            label=str(task.label),
+        )
+    try:
+        return _execute_point_record(task, SweepPoint)
+    finally:
+        if task.heartbeat_dir is not None:
+            _liveness.disarm()
+
+
+def _execute_point_record(task: PointTask, SweepPoint) -> dict[str, Any]:
     if task.pli_backend is not None:
         # Re-arm the parent's kernel backend in this worker.  Safe under
         # fork *and* spawn: set_backend is idempotent, and an unusable
@@ -204,6 +236,11 @@ def execute_point_record(task: PointTask) -> dict[str, Any]:
                 cache = (
                     ResultCache(task.cache_root) if task.cache_root else None
                 )
+                checkpoints = (
+                    CheckpointStore(task.checkpoint_root)
+                    if task.checkpoint_root
+                    else None
+                )
                 for name in task.algorithms:
                     point.executions.append(
                         framework.run(
@@ -212,6 +249,7 @@ def execute_point_record(task: PointTask) -> dict[str, Any]:
                             budget=resolve_budget(task.budget, name),
                             cache=cache,
                             cache_config=task.cache_config,
+                            checkpoints=checkpoints,
                         )
                     )
                 if task.check_agreement:
@@ -225,7 +263,9 @@ def execute_point_record(task: PointTask) -> dict[str, Any]:
 
 
 def run_sweep_points(
-    tasks: list[PointTask], jobs: int
+    tasks: list[PointTask],
+    jobs: int,
+    watchdog_grace: float | None = None,
 ) -> Iterator[tuple[object, dict[str, Any]]]:
     """Execute sweep points on a process pool, yielding ``(label, record)``
     pairs in *completion* order (the caller re-orders and journals).
@@ -234,59 +274,117 @@ def run_sweep_points(
     task is re-dispatched once in a fresh pool, and a task whose worker
     dies again is yielded as a point-level error record — the exact
     ``error`` semantics a crashing workload builder has inline.
+
+    With ``watchdog_grace`` set, every worker arms a per-pid liveness
+    heartbeat (:mod:`repro.liveness`) in a shared temporary directory and
+    a parent-side :class:`~repro.harness.watchdog.Watchdog` thread kills
+    any worker whose heartbeat stays silent that many seconds.  The kill
+    surfaces as :class:`BrokenProcessPool`, so a *hang* degrades into the
+    already-contained death path: innocent in-flight points complete in
+    the isolation round, and a point that hangs its worker again is
+    recorded as a point-level error.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+
+    heartbeat_dir: str | None = None
+    if watchdog_grace is not None:
+        if watchdog_grace <= 0:
+            raise ValueError(
+                f"watchdog_grace must be positive, got {watchdog_grace}"
+            )
+        heartbeat_dir = tempfile.mkdtemp(prefix="repro-heartbeats-")
+        # Several beats must fit into one grace period so scheduler
+        # jitter never reads as a hang.
+        interval = min(1.0, max(0.05, watchdog_grace / 4.0))
+        tasks = [
+            replace(task, heartbeat_dir=heartbeat_dir, heartbeat_interval=interval)
+            for task in tasks
+        ]
     for task in tasks:
         ensure_picklable(task, f"sweep point {task.label!r}")
 
+    try:
+        yield from _run_rounds(tasks, jobs, watchdog_grace, heartbeat_dir)
+    finally:
+        if heartbeat_dir is not None:
+            shutil.rmtree(heartbeat_dir, ignore_errors=True)
+
+
+def _pool_watchdog(
+    heartbeat_dir: str | None,
+    grace: float | None,
+    executor: ProcessPoolExecutor,
+):
+    """A started watchdog bound to ``executor``'s live pids, or a no-op."""
+    if heartbeat_dir is None or grace is None:
+        return nullcontext()
+    # _processes is the executor's {pid: Process} map; it may be None or
+    # mid-mutation during teardown — Watchdog.scan tolerates a raising
+    # pids_fn by skipping the scan.
+    return Watchdog(
+        heartbeat_dir, grace, pids_fn=lambda: list(executor._processes or ())
+    )
+
+
+def _run_rounds(
+    tasks: list[PointTask],
+    jobs: int,
+    watchdog_grace: float | None,
+    heartbeat_dir: str | None,
+) -> Iterator[tuple[object, dict[str, Any]]]:
     # Round 1: everything on one shared pool.  A worker death breaks the
     # whole pool, failing every in-flight future, so pool-breakage
     # failures only mark their tasks as *suspects* for round 2.
     suspects: list[int] = []
     executor = ProcessPoolExecutor(max_workers=jobs)
     try:
-        futures: dict[Any, int] = {}
-        for index, task in enumerate(tasks):
-            try:
-                futures[executor.submit(execute_point_record, task)] = index
-            except BrokenProcessPool:
-                # Pool already broken before this task went out.
-                suspects.append(index)
-        unfinished = set(futures)
-        while unfinished:
-            finished, unfinished = wait(unfinished, return_when=FIRST_COMPLETED)
-            for future in finished:
-                index = futures[future]
+        with _pool_watchdog(heartbeat_dir, watchdog_grace, executor):
+            futures: dict[Any, int] = {}
+            for index, task in enumerate(tasks):
                 try:
-                    yield tasks[index].label, future.result()
+                    futures[executor.submit(execute_point_record, task)] = index
                 except BrokenProcessPool:
+                    # Pool already broken before this task went out.
                     suspects.append(index)
-                except Exception as error:
-                    # Worker-side infrastructure failure that is not a
-                    # process death (e.g. an unpicklable return value):
-                    # deterministic, no point retrying.
-                    yield tasks[index].label, _error_record(
-                        tasks[index], error, attempts=1
-                    )
+            unfinished = set(futures)
+            while unfinished:
+                finished, unfinished = wait(
+                    unfinished, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    index = futures[future]
+                    try:
+                        yield tasks[index].label, future.result()
+                    except BrokenProcessPool:
+                        suspects.append(index)
+                    except Exception as error:
+                        # Worker-side infrastructure failure that is not a
+                        # process death (e.g. an unpicklable return value):
+                        # deterministic, no point retrying.
+                        yield tasks[index].label, _error_record(
+                            tasks[index], error, attempts=1
+                        )
     finally:
         executor.shutdown(wait=False, cancel_futures=True)
 
     # Round 2: each suspect alone in a fresh single-worker pool.  An
     # innocent victim of someone else's crash completes here; a point
     # that kills its worker again is the reproducible culprit and is
-    # recorded as a point-level error.
+    # recorded as a point-level error.  The watchdog stays armed so a
+    # point that *hangs* its solo worker is killed (and recorded) too.
     for index in sorted(suspects):
         task = tasks[index]
         with ProcessPoolExecutor(max_workers=1) as solo:
-            try:
-                yield task.label, solo.submit(
-                    execute_point_record, task
-                ).result()
-            except Exception as error:
-                yield task.label, _error_record(
-                    task, error, attempts=WORKER_ATTEMPTS
-                )
+            with _pool_watchdog(heartbeat_dir, watchdog_grace, solo):
+                try:
+                    yield task.label, solo.submit(
+                        execute_point_record, task
+                    ).result()
+                except Exception as error:
+                    yield task.label, _error_record(
+                        task, error, attempts=WORKER_ATTEMPTS
+                    )
 
 
 def _error_record(

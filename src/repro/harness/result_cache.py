@@ -16,6 +16,14 @@ share between concurrent processes: entries are written atomically
 as a miss, never an error.  Only *completed* executions are ever stored —
 TL/ML/ERR cells depend on the budget that produced them, not just on the
 input, and must be recomputed.
+
+Robustness: reads and writes run under a bounded
+:class:`~repro.harness.retry.RetryPolicy` (transient I/O errors are
+retried with backoff, so a busy filesystem does not turn into a miss or a
+lost store), and an entry that holds unparseable JSON is *quarantined* —
+moved into a ``quarantine/`` sibling directory for post-mortem inspection
+— exactly once, instead of being re-read and re-misclassified on every
+sweep over the same cell.
 """
 
 from __future__ import annotations
@@ -25,6 +33,10 @@ import json
 import os
 from pathlib import Path, PurePath
 from typing import Any, Mapping
+
+from .. import trace as _trace
+from ..faults import FAULTS, RESULT_CACHE_GET, RESULT_CACHE_PUT
+from .retry import RetryPolicy
 
 __all__ = ["ResultCache", "DEFAULT_CACHE_DIR", "config_key"]
 
@@ -121,11 +133,17 @@ class ResultCache:
     ``hits`` / ``misses`` / ``puts`` count this instance's traffic.
     """
 
-    def __init__(self, root: str | os.PathLike[str] = DEFAULT_CACHE_DIR):
+    def __init__(
+        self,
+        root: str | os.PathLike[str] = DEFAULT_CACHE_DIR,
+        retry: RetryPolicy | None = None,
+    ):
         self.root = Path(root)
+        self.retry = retry or RetryPolicy()
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        self.corrupt = 0
 
     # -- addressing --------------------------------------------------------
 
@@ -155,13 +173,30 @@ class ResultCache:
 
         A corrupt entry, a torn write, or an envelope whose address fields
         do not match (hash-prefix collision) all count as misses — the
-        cache must never turn disk state into an exception.
+        cache must never turn disk state into an exception.  Transient
+        read errors are retried; an entry with unparseable JSON is moved
+        to the ``quarantine/`` sibling (exactly once — the next lookup of
+        the same cell is a plain missing-file miss).
         """
         path = self.entry_path(fingerprint, algorithm, config)
-        try:
+
+        def _read() -> dict[str, Any]:
+            if FAULTS.armed:
+                FAULTS.trip(RESULT_CACHE_GET)
             with open(path, "r", encoding="utf-8") as handle:
-                envelope = json.load(handle)
-        except (OSError, ValueError):
+                return json.load(handle)
+
+        try:
+            envelope = self.retry.call(_read, key=str(path))
+        except ValueError:
+            # Unparseable JSON: disk corruption or a torn write from a
+            # crashed writer.  Quarantine the evidence so the cell heals.
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        except Exception:
+            # Missing file, exhausted transient I/O retries, injected
+            # faults: all misses, never an exception (module contract).
             self.misses += 1
             return None
         if (
@@ -184,9 +219,13 @@ class ResultCache:
         payload: Mapping[str, Any],
         config: Mapping[str, Any] | str | None = None,
     ) -> None:
-        """Atomically store one cell (last concurrent writer wins)."""
+        """Atomically store one cell (last concurrent writer wins).
+
+        Transient write errors are retried with backoff; a persistent
+        failure raises (callers that must not fail on a broken cache —
+        the framework, the CLI — contain it and trace ``cache.put_failed``).
+        """
         path = self.entry_path(fingerprint, algorithm, config)
-        path.parent.mkdir(parents=True, exist_ok=True)
         envelope = {
             "format_version": CACHE_FORMAT_VERSION,
             "fingerprint": fingerprint,
@@ -195,18 +234,59 @@ class ResultCache:
             "payload": dict(payload),
         }
         temporary = path.with_name(f"{path.name}.tmp-{os.getpid()}")
-        with open(temporary, "w", encoding="utf-8") as handle:
-            json.dump(envelope, handle)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temporary, path)
+
+        def _write() -> None:
+            if FAULTS.armed:
+                FAULTS.trip(RESULT_CACHE_PUT)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(temporary, "w", encoding="utf-8") as handle:
+                json.dump(envelope, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temporary, path)
+
+        self.retry.call(_write, key=str(path))
         self.puts += 1
+
+    # -- corruption quarantine ---------------------------------------------
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry into ``root/quarantine/`` (collision-safe).
+
+        Failing to move (e.g. the entry vanished between read and move, or
+        the filesystem rejects the rename) still counts the corruption but
+        leaves the file alone — quarantining is best-effort forensics, not
+        a correctness requirement.
+        """
+        self.corrupt += 1
+        _trace.count("cache.corrupt")
+        destination_dir = self.root / "quarantine"
+        try:
+            destination_dir.mkdir(parents=True, exist_ok=True)
+            destination = destination_dir / path.name
+            suffix = 0
+            while destination.exists():
+                suffix += 1
+                destination = destination_dir / f"{path.name}.{suffix}"
+            os.replace(path, destination)
+        except OSError:
+            destination = None
+        _trace.event(
+            "cache.corrupt",
+            entry=path.name,
+            quarantined=destination is not None,
+        )
 
     # -- bookkeeping -------------------------------------------------------
 
     def stats(self) -> dict[str, int]:
         """Traffic counters of this instance."""
-        return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "corrupt": self.corrupt,
+        }
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,126 @@
+"""Bounded retry with exponential backoff and deterministic jitter.
+
+The robustness layer touches three kinds of fallible I/O: result-cache
+reads/writes, checkpoint-file saves/loads, and worker dispatch.  All of
+them share a failure taxonomy — *transient* faults (a torn NFS read, a
+briefly-full disk, an injected :class:`~repro.faults.FaultInjected`, a
+worker that died once) are worth a bounded number of retries, while
+*permanent* faults (a missing directory, a permission error, corrupt
+semantics) must surface immediately so retries never mask a real bug.
+
+Backoff is exponential with multiplicative jitter, and the jitter is
+**deterministic**: it is derived from ``crc32(seed:key:attempt)`` rather
+than a global RNG, so a replayed run backs off identically and the chaos
+campaign's timing is reproducible bit-for-bit.  The ``sleep`` hook is
+injectable so tests run the full policy without waiting.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .. import trace as _trace
+from ..faults import FaultInjected
+
+__all__ = ["RetryPolicy", "default_classify"]
+
+#: Exception types that are permanent even though they subclass OSError:
+#: retrying a missing file or a permission wall only wastes the budget.
+_PERMANENT_OS_ERRORS = (
+    FileNotFoundError,
+    PermissionError,
+    IsADirectoryError,
+    NotADirectoryError,
+)
+
+
+def default_classify(error: BaseException) -> bool:
+    """True when ``error`` is transient (worth retrying).
+
+    Injected faults model transient infrastructure failure by definition
+    (the fault registry fires a point once, so the retry *should*
+    recover).  Generic :class:`OSError` and :class:`TimeoutError` are
+    transient — full disks drain, NFS hiccups pass — except the
+    path-shape errors in :data:`_PERMANENT_OS_ERRORS`, which no retry can
+    fix.  Everything else (``ValueError`` from corrupt JSON, programming
+    errors) is permanent.
+    """
+    if isinstance(error, FaultInjected):
+        return True
+    if isinstance(error, _PERMANENT_OS_ERRORS):
+        return False
+    return isinstance(error, (OSError, TimeoutError))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-attempt retry with exponential backoff + deterministic jitter.
+
+    ``attempts`` counts total tries (1 = no retry).  Delay before retry
+    ``n`` (1-based) is ``min(base_delay * 2**(n-1), max_delay)`` scaled by
+    a jitter factor in ``[1 - jitter, 1 + jitter]`` drawn deterministically
+    from ``(seed, key, n)``.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based) of operation ``key``."""
+        raw = min(self.base_delay * (2 ** (attempt - 1)), self.max_delay)
+        digest = zlib.crc32(f"{self.seed}:{key}:{attempt}".encode())
+        fraction = digest / 0xFFFFFFFF
+        return raw * (1.0 + self.jitter * (2.0 * fraction - 1.0))
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        *,
+        key: str,
+        classify: Callable[[BaseException], bool] | None = None,
+    ) -> Any:
+        """Run ``fn`` under this policy; return its result.
+
+        Permanent errors (per ``classify``, default
+        :func:`default_classify`) re-raise immediately.  Transient errors
+        retry up to ``attempts`` total tries with backoff, then re-raise
+        the last error (``retry.exhausted``).  A success after at least
+        one failure bumps ``retry.recovered``.
+        """
+        classify = classify or default_classify
+        for attempt in range(1, self.attempts + 1):
+            try:
+                result = fn()
+            except BaseException as error:
+                if not classify(error) or attempt == self.attempts:
+                    if classify(error):
+                        _trace.count("retry.exhausted")
+                    raise
+                pause = self.delay(key, attempt)
+                _trace.count("retry.retries")
+                _trace.event(
+                    "retry.backoff",
+                    key=key,
+                    attempt=attempt,
+                    delay=round(pause, 6),
+                    error=type(error).__name__,
+                )
+                self.sleep(pause)
+            else:
+                if attempt > 1:
+                    _trace.count("retry.recovered")
+                return result
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -41,8 +41,10 @@ from .framework import (
     verify_agreement,
 )
 from .reporting import ascii_table
+from .signals import graceful_shutdown
 
 if TYPE_CHECKING:  # imported lazily at runtime (parallel imports runner)
+    from .checkpoint import CheckpointStore
     from .parallel import FrameworkSpec
     from .result_cache import ResultCache
 
@@ -175,12 +177,66 @@ class SweepJournal:
         return points
 
     def append(self, point: SweepPoint) -> None:
-        """Durably record one finished point."""
+        """Durably record one finished point.
+
+        If the journal's final line was torn by an earlier crash (no
+        trailing newline), a newline is inserted first so the new record
+        never concatenates onto the torn fragment — the fragment stays an
+        isolated unparseable line that :meth:`load` skips, instead of
+        corrupting a *good* record.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(point.to_record(), default=str) + "\n")
+        record = json.dumps(point.to_record(), default=str)
+        with open(self.path, "a+b") as handle:
+            size = handle.tell()
+            if size > 0:
+                handle.seek(size - 1)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+            handle.write(record.encode("utf-8") + b"\n")
             handle.flush()
             os.fsync(handle.fileno())
+
+    def compact(self) -> int:
+        """Rewrite the journal with one record per label (last write wins,
+        first-seen order), dropping torn lines and superseded duplicates.
+
+        Long-lived journals accumulate duplicates when points are re-run
+        (e.g. after a config fix with ``resume=False`` semantics applied
+        selectively) plus the occasional torn line from a crash.  The
+        rewrite is atomic (temp file + :func:`os.replace`), so a crash
+        mid-compaction leaves the original journal untouched.  Returns
+        the number of lines dropped; 0 for a missing or clean journal.
+        """
+        if not self.path.exists():
+            return 0
+        order: list[str] = []
+        latest: dict[str, SweepPoint] = {}
+        lines = 0
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                lines += 1
+                try:
+                    point = SweepPoint.from_record(json.loads(line))
+                except (ValueError, KeyError, TypeError):
+                    continue  # torn line: dropped by the rewrite
+                key = _label_key(point.label)
+                if key not in latest:
+                    order.append(key)
+                latest[key] = point
+        temporary = self.path.with_name(f"{self.path.name}.tmp-{os.getpid()}")
+        with open(temporary, "w", encoding="utf-8") as handle:
+            for key in order:
+                handle.write(
+                    json.dumps(latest[key].to_record(), default=str) + "\n"
+                )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, self.path)
+        return lines - len(order)
 
 
 class ExperimentRunner:
@@ -202,6 +258,9 @@ class ExperimentRunner:
         framework_spec: "FrameworkSpec | None" = None,
         result_cache: "ResultCache | None" = None,
         cache_config: str | None = None,
+        checkpoints: "CheckpointStore | None" = None,
+        watchdog_grace: float | None = None,
+        handle_signals: bool = False,
     ) -> list[SweepPoint]:
         """Execute all algorithms at every sweep point, crash-safely.
 
@@ -236,7 +295,49 @@ class ExperimentRunner:
         ``result_cache`` short-circuits already-profiled
         ``(fingerprint, algorithm, config)`` cells from disk in both
         modes (unbudgeted executions only; see :meth:`Framework.run`).
+
+        ``checkpoints`` adds *intra-execution* durability on top of the
+        journal's per-point durability: each execution snapshots its
+        traversal state at level/phase boundaries
+        (:class:`~repro.harness.checkpoint.CheckpointStore`), so a killed
+        sweep loses at most the work since the last boundary of the
+        execution it was in, not the whole point.
+
+        ``watchdog_grace`` (parallel mode only; default
+        ``$REPRO_WATCHDOG_GRACE``) arms a parent-side hung-worker
+        watchdog: a pool worker whose heartbeat goes silent for that many
+        seconds is killed and its point re-dispatched through the
+        existing suspect-isolation retry; a point that hangs its worker
+        again is recorded as a point-level error.
+
+        ``handle_signals`` wraps the sweep in
+        :func:`~repro.harness.signals.graceful_shutdown`: SIGTERM/SIGINT
+        raises :class:`~repro.harness.signals.Interrupted` at a safe
+        boundary — the journal keeps every finished point, the active
+        execution's checkpoint survives, and the interrupted point is
+        *not* journaled (it re-runs, resuming from its checkpoint).
         """
+        if watchdog_grace is None:
+            env_grace = os.environ.get("REPRO_WATCHDOG_GRACE")
+            if env_grace:
+                watchdog_grace = float(env_grace)
+        if handle_signals:
+            with graceful_shutdown():
+                return self.sweep(
+                    points,
+                    workload,
+                    check_agreement=check_agreement,
+                    budget=budget,
+                    journal=journal,
+                    resume=resume,
+                    jobs=jobs,
+                    framework_spec=framework_spec,
+                    result_cache=result_cache,
+                    cache_config=cache_config,
+                    checkpoints=checkpoints,
+                    watchdog_grace=watchdog_grace,
+                    handle_signals=False,
+                )
         finished = journal.load() if journal is not None and resume else {}
         restored: dict[str, SweepPoint] = {}
         pending: list[object] = []
@@ -258,6 +359,8 @@ class ExperimentRunner:
                 framework_spec=framework_spec,
                 result_cache=result_cache,
                 cache_config=cache_config,
+                checkpoints=checkpoints,
+                watchdog_grace=watchdog_grace,
             )
         else:
             computed = {
@@ -269,6 +372,7 @@ class ExperimentRunner:
                     journal=journal,
                     result_cache=result_cache,
                     cache_config=cache_config,
+                    checkpoints=checkpoints,
                 )
                 for label in pending
             }
@@ -284,6 +388,7 @@ class ExperimentRunner:
         journal: SweepJournal | None,
         result_cache: "ResultCache | None",
         cache_config: str | None,
+        checkpoints: "CheckpointStore | None" = None,
     ) -> SweepPoint:
         """Execute one sweep point in this process (the serial path)."""
         point = SweepPoint(label=label)
@@ -308,6 +413,7 @@ class ExperimentRunner:
                                 budget=resolve_budget(budget, name),
                                 cache=result_cache,
                                 cache_config=cache_config,
+                                checkpoints=checkpoints,
                             )
                         )
                     if check_agreement:
@@ -331,6 +437,8 @@ class ExperimentRunner:
         framework_spec: "FrameworkSpec | None",
         result_cache: "ResultCache | None",
         cache_config: str | None,
+        checkpoints: "CheckpointStore | None" = None,
+        watchdog_grace: float | None = None,
     ) -> dict[str, SweepPoint]:
         """Dispatch unfinished points to worker processes; journal each
         serialized record as it completes (single writer, any order)."""
@@ -360,11 +468,14 @@ class ExperimentRunner:
                 cache_config=cache_config,
                 trace=_trace.ACTIVE is not None,
                 pli_backend=_pli_backend.ACTIVE.name,
+                checkpoint_root=str(checkpoints.root) if checkpoints else None,
             )
             for label in pending
         ]
         computed: dict[str, SweepPoint] = {}
-        for label, record in run_sweep_points(tasks, jobs=jobs):
+        for label, record in run_sweep_points(
+            tasks, jobs=jobs, watchdog_grace=watchdog_grace
+        ):
             point = SweepPoint.from_record(record)
             if journal is not None:
                 journal.append(point)

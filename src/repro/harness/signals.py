@@ -1,0 +1,81 @@
+"""Graceful SIGTERM/SIGINT handling for the CLI and the sweep runner.
+
+A profiling service gets terminated: deploys roll, schedulers preempt,
+users hit Ctrl-C.  Today that tears the process down mid-write — the
+journal's final line may be torn and the in-flight execution's progress
+is simply lost.  With intra-execution checkpoints
+(:mod:`repro.harness.checkpoint`) the last boundary is already durable,
+so all a signal handler has to do is stop *cleanly*: unwind out of the
+lattice loop, let the journal/checkpoint ``finally`` blocks flush, mark
+the execution ``interrupted``, and exit with a distinct code so callers
+can tell "stopped on request" from "crashed".
+
+:class:`Interrupted` subclasses :class:`BaseException` (like
+:class:`KeyboardInterrupt`) so the harness's ``except Exception``
+containment cannot record an interruption as an ERR cell — it must
+propagate to the top level.  The handler restores the previous handler
+*before* raising, so a second signal kills the process hard — the
+standard escape hatch when graceful shutdown itself hangs.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["EXIT_INTERRUPTED", "Interrupted", "graceful_shutdown"]
+
+#: CLI exit code for a run stopped by SIGTERM/SIGINT (0 = ok, 2 = usage,
+#: 3 = budget-stopped).
+EXIT_INTERRUPTED = 4
+
+
+class Interrupted(BaseException):
+    """The process received a termination signal during an execution."""
+
+    def __init__(self, signum: int):
+        try:
+            name = signal.Signals(signum).name
+        except ValueError:  # pragma: no cover - exotic platform signal
+            name = str(signum)
+        super().__init__(f"interrupted by {name}")
+        self.signum = signum
+
+
+@contextmanager
+def graceful_shutdown(
+    signums: tuple[int, ...] = (signal.SIGTERM, signal.SIGINT),
+) -> Iterator[None]:
+    """Convert the given signals into :class:`Interrupted` in this scope.
+
+    Outside the main thread (where :func:`signal.signal` is illegal) this
+    degrades to a no-op, so library code can wrap sweeps unconditionally.
+    Handlers are restored on exit; on the first signal the handler
+    restores the *previous* handler before raising, so a second signal
+    behaves as if this scope never existed (typically: hard kill).
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    previous: dict[int, object] = {}
+
+    def _handler(signum: int, frame: object) -> None:
+        for restore_signum, restore_handler in previous.items():
+            signal.signal(restore_signum, restore_handler)
+        raise Interrupted(signum)
+
+    try:
+        for signum in signums:
+            previous[signum] = signal.signal(signum, _handler)
+    except (ValueError, OSError):  # pragma: no cover - non-main interpreter
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        yield
+        return
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)

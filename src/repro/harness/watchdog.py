@@ -1,0 +1,134 @@
+"""Parent-side hung-worker watchdog for parallel sweeps.
+
+Worker-death containment (PR 3) handles a worker that dies; this module
+handles a worker that goes *silent*.  Each pool worker arms a
+:class:`repro.liveness.Heartbeat` that refreshes a per-pid file from the
+cooperative guard checkpoint inside every lattice loop.  The parent runs
+one :class:`Watchdog` thread that stats those files: a worker whose file
+has not been touched for ``grace`` seconds, and whose pid still belongs
+to the pool, is declared hung and killed with ``SIGKILL``.  The pool then
+surfaces the death as :class:`~concurrent.futures.process.BrokenProcessPool`,
+and the existing two-round suspects/isolation dispatch re-runs the
+in-flight points — so a hang degrades into the already-tested death path
+instead of stalling the sweep forever.
+
+The watchdog never kills a pid it was not told about (``pids_fn`` is the
+pool's live process set), tolerates already-dead processes, and removes
+the stale file after the kill so one hang is counted once.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Iterable
+
+from .. import trace as _trace
+
+__all__ = ["Watchdog"]
+
+
+class Watchdog:
+    """Kill pool workers whose heartbeat file goes stale.
+
+    Parameters
+    ----------
+    heartbeat_dir:
+        Directory of ``<pid>.hb`` files written by the workers.
+    grace:
+        Seconds of heartbeat silence after which a worker is hung.
+    pids_fn:
+        Zero-arg callable returning the pids the watchdog may kill
+        (the executor's current process set); anything else in the
+        directory is ignored.
+    poll:
+        Scan interval; defaults to ``grace / 4`` bounded to [0.05, 1.0].
+    """
+
+    def __init__(
+        self,
+        heartbeat_dir: str | os.PathLike[str],
+        grace: float,
+        pids_fn: Callable[[], Iterable[int]],
+        poll: float | None = None,
+    ):
+        if grace <= 0:
+            raise ValueError(f"grace must be positive, got {grace}")
+        self.heartbeat_dir = Path(heartbeat_dir)
+        self.grace = grace
+        self.pids_fn = pids_fn
+        self.poll = poll if poll is not None else min(1.0, max(0.05, grace / 4.0))
+        self.kills: list[int] = []
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- one scan -----------------------------------------------------------
+
+    def scan(self) -> list[int]:
+        """Stat every heartbeat file once; kill + return stale pids."""
+        killed: list[int] = []
+        try:
+            entries = list(self.heartbeat_dir.glob("*.hb"))
+        except OSError:
+            return killed
+        try:
+            live = set(self.pids_fn())
+        except Exception:
+            # The pool is tearing down; its workers are no longer ours
+            # to kill.
+            return killed
+        now = time.time()
+        for entry in entries:
+            try:
+                pid = int(entry.stem)
+            except ValueError:
+                continue
+            if pid not in live:
+                continue
+            try:
+                stale = now - entry.stat().st_mtime
+            except OSError:
+                continue  # worker finished and cleared its file mid-scan
+            if stale < self.grace:
+                continue
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                continue
+            try:
+                entry.unlink()
+            except OSError:
+                pass
+            killed.append(pid)
+            self.kills.append(pid)
+            _trace.count("watchdog.kills")
+            _trace.event("watchdog.kill", pid=pid, stale=round(stale, 3))
+        return killed
+
+    # -- thread lifecycle ---------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.poll):
+            self.scan()
+
+    def start(self) -> "Watchdog":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-watchdog", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "Watchdog":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

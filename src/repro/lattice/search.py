@@ -31,6 +31,7 @@ from __future__ import annotations
 import random
 from collections.abc import Callable, Iterable
 
+from .. import checkpointing as _ckpt
 from .. import trace as _trace
 from ..guard import BudgetExceeded, checkpoint
 from ..relation.columnset import direct_subsets, direct_supersets
@@ -57,6 +58,14 @@ class LatticeSearch:
         re-checked and prune their supersets/subsets immediately.  They
         must be *sound* (truly positive / negative) but need not be
         minimal/maximal.
+    checkpoint_stage:
+        When set and a checkpoint session is active, the walk saves a
+        boundary under this stage name after every completed seed walk
+        and hole round.  The antichains *are* the walk's complete
+        knowledge, so a resumed search continues bit-identically: the
+        restored RNG state replays the in-flight walk's choices and the
+        restored knowledge base skips exactly the checks an undisturbed
+        run would have skipped.
     """
 
     def __init__(
@@ -66,10 +75,12 @@ class LatticeSearch:
         rng: random.Random | None = None,
         known_positives: Iterable[int] = (),
         known_negatives: Iterable[int] = (),
+        checkpoint_stage: str | None = None,
     ):
         self.universe = universe
         self.predicate = predicate
         self.rng = rng or random.Random(0)
+        self.checkpoint_stage = checkpoint_stage
         self.evaluations = 0
         self.hole_rounds = 0
         # Antichains of knowledge (the pruning graph): minimal known
@@ -156,19 +167,48 @@ class LatticeSearch:
         """
         if self.universe == 0:
             return [], []
-        try:
-            seeds = [
+        ckpt = _ckpt.ACTIVE if self.checkpoint_stage is not None else None
+        phase = "seeds"
+        state = ckpt.resume(self.checkpoint_stage) if ckpt is not None else None
+        if state is not None:
+            # The antichains are the walk's complete knowledge; re-adding
+            # them restores every prune the undisturbed run had made.
+            for mask in state["positives"]:
+                self._add_positive(mask)
+            for mask in state["negatives"]:
+                self._add_negative(mask)
+            self.rng.setstate(_ckpt.rng_state_from_json(state["rng"]))
+            self.evaluations = state["evaluations"]
+            self.hole_rounds = state["hole_rounds"]
+            phase = state["phase"]
+            pending = list(state["pending_seeds"])
+        else:
+            pending = [
                 1 << i
                 for i in range(self.universe.bit_length())
                 if self.universe >> i & 1
             ]
-            self.rng.shuffle(seeds)
-            evals_before = self.evaluations
-            with _trace.span("search.seed_walks", seeds=len(seeds)) as walk_span:
-                for seed in seeds:
-                    if self._lookup(seed) is None:
-                        self._walk(seed)
-                walk_span.set(validated=self.evaluations - evals_before)
+            self.rng.shuffle(pending)
+        try:
+            if phase == "seeds":
+                evals_before = self.evaluations
+                with _trace.span(
+                    "search.seed_walks", seeds=len(pending)
+                ) as walk_span:
+                    while pending:
+                        seed = pending.pop(0)
+                        if self._lookup(seed) is None:
+                            self._walk(seed)
+                            if ckpt is not None:
+                                ckpt.boundary(
+                                    self.checkpoint_stage,
+                                    self._snapshot("seeds", pending),
+                                )
+                    walk_span.set(validated=self.evaluations - evals_before)
+                if ckpt is not None:
+                    ckpt.boundary(
+                        self.checkpoint_stage, self._snapshot("holes", [])
+                    )
             while True:
                 evals_before = self.evaluations
                 with _trace.span(
@@ -196,10 +236,26 @@ class LatticeSearch:
                     for candidate in unresolved:
                         self._walk(candidate)
                     round_span.set(validated=self.evaluations - evals_before)
+                if ckpt is not None:
+                    ckpt.boundary(
+                        self.checkpoint_stage, self._snapshot("holes", [])
+                    )
         except BudgetExceeded as error:
             if error.partial is None:
                 error.partial = (sorted(self._pos), sorted(self._neg))
             raise
+
+    def _snapshot(self, phase: str, pending: list[int]) -> dict:
+        """Complete walk state at a boundary (JSON-ready)."""
+        return {
+            "phase": phase,
+            "pending_seeds": list(pending),
+            "positives": sorted(self._pos),
+            "negatives": sorted(self._neg),
+            "rng": _ckpt.rng_state_to_json(self.rng),
+            "evaluations": self.evaluations,
+            "hole_rounds": self.hole_rounds,
+        }
 
     def _confirmed_minimal(self, mask: int) -> bool:
         """True iff ``mask`` is known positive with all direct subsets known

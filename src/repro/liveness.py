@@ -1,0 +1,113 @@
+"""Worker liveness heartbeats for the hung-worker watchdog.
+
+Worker-death containment (PR 3) catches a worker that *dies* — the pool
+raises :class:`~concurrent.futures.process.BrokenProcessPool` and the
+dispatch loop reroutes the in-flight points.  It cannot catch a worker
+that *hangs*: a lattice loop stuck on adversarial input, a blocked I/O
+call, a deadlocked C extension.  The future simply never completes and
+the sweep stalls forever.
+
+This module is the worker side of the fix.  A :class:`Heartbeat` writes a
+tiny file and refreshes its mtime from the same cooperative
+:func:`repro.guard.checkpoint` hook that the budget layer already uses —
+every lattice loop iteration is a potential beat, so a worker making *any*
+profiling progress keeps its file fresh.  The parent-side
+:class:`~repro.harness.watchdog.Watchdog` stats these files and declares a
+worker hung when its file goes stale past a grace period.
+
+Like :mod:`repro.guard` and :mod:`repro.faults` this module is
+import-order neutral (stdlib only) and process-global: workers arm one
+:data:`ACTIVE` heartbeat for their lifetime.  Beats are throttled by a
+tick stride so the hot path costs two integer operations, and a beat
+*never* raises — a full disk or a vanished directory must not turn a
+healthy worker into a failed one.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+__all__ = ["Heartbeat", "ACTIVE", "arm", "disarm"]
+
+#: Monotonic-clock reads happen only every this-many :meth:`Heartbeat.beat`
+#: calls; lattice loops checkpoint millions of times per second, while
+#: heartbeat files only need sub-second freshness.
+TICK_STRIDE = 64
+
+
+class Heartbeat:
+    """Periodically refresh a liveness file at ``path``.
+
+    ``interval`` is the minimum wall-clock spacing between file touches;
+    the watchdog's grace period should be several intervals so scheduling
+    jitter never looks like a hang.
+    """
+
+    __slots__ = ("path", "interval", "label", "_clock", "_ticks", "_last")
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        interval: float = 1.0,
+        label: str = "",
+        clock=time.monotonic,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.path = os.fspath(path)
+        self.interval = interval
+        self.label = label
+        self._clock = clock
+        self._ticks = 0
+        self._last = 0.0
+
+    def touch(self) -> None:
+        """Unconditionally refresh the liveness file.  Never raises."""
+        try:
+            with open(self.path, "w", encoding="utf-8") as handle:
+                handle.write(f"{os.getpid()} {self.label}\n")
+        except OSError:
+            # A beat must never kill a healthy worker; if the heartbeat
+            # directory is gone the watchdog side has already moved on.
+            pass
+        self._last = self._clock()
+
+    def beat(self) -> None:
+        """Throttled refresh; cheap enough for inner lattice loops."""
+        self._ticks += 1
+        if self._ticks < TICK_STRIDE:
+            return
+        self._ticks = 0
+        if self._clock() - self._last >= self.interval:
+            self.touch()
+
+    def clear(self) -> None:
+        """Remove the liveness file (worker shutdown).  Never raises."""
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+
+#: The process's armed heartbeat (``None`` in non-worker processes).
+#: Read by :func:`repro.guard.checkpoint` on every cooperative tick.
+ACTIVE: Heartbeat | None = None
+
+
+def arm(
+    path: str | os.PathLike[str], interval: float = 1.0, label: str = ""
+) -> Heartbeat:
+    """Install (and immediately touch) the process-wide heartbeat."""
+    global ACTIVE
+    ACTIVE = Heartbeat(path, interval=interval, label=label)
+    ACTIVE.touch()
+    return ACTIVE
+
+
+def disarm() -> None:
+    """Remove the process-wide heartbeat and its liveness file."""
+    global ACTIVE
+    if ACTIVE is not None:
+        ACTIVE.clear()
+    ACTIVE = None

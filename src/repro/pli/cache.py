@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from .. import checkpointing as _ckpt
 from .. import trace as _trace
 from ..faults import CACHE_PUT, FAULTS
 from ..relation.columnset import size
@@ -103,6 +104,36 @@ class PliCache:
     def clear_composites(self) -> None:
         """Drop every non-pinned entry (e.g. between profiling phases)."""
         self._entries.clear()
+
+    # -- checkpoint round-trip ---------------------------------------------
+
+    def state(self) -> dict:
+        """Composite entries (in LRU order) plus counters, JSON-ready.
+
+        Pinned single-column PLIs are not serialized — the index rebuilds
+        them identically at construction.  LRU order matters: a resumed
+        run must evict the same victims the undisturbed run would have.
+        """
+        return {
+            "composites": [
+                [mask, _ckpt.pli_state(pli)]
+                for mask, pli in self._entries.items()
+            ],
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Overwrite composite entries and counters with a snapshot."""
+        self._entries.clear()
+        for mask, pli in state["composites"]:
+            self._entries[mask] = _ckpt.pli_from_state(pli)
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self.insertions = state["insertions"]
+        self.evictions = state["evictions"]
 
     @property
     def hit_rate(self) -> float:

@@ -237,6 +237,35 @@ class RelationIndex:
                 valid |= bit(rhs)
         return valid
 
+    # -- checkpoint round-trip -------------------------------------------------
+
+    def state(self) -> dict[str, Any]:
+        """Mutable substrate state for intra-execution checkpoints.
+
+        Captures what a resumed run (in a fresh process, with a freshly
+        rebuilt index) cannot rederive: the composite-PLI cache content
+        (which PLIs are amortized decides how many intersections the
+        remaining work pays), the cache/check counters, and the sampling
+        planner's query counters.  Restoring it makes the resumed run's
+        counter totals bit-identical to the undisturbed run's.
+        """
+        return {
+            "intersections": self.intersections,
+            "fd_checks": self.fd_checks,
+            "uniqueness_checks": self.uniqueness_checks,
+            "cache": self.cache.state(),
+            "planner": self.planner.state() if self.planner is not None else None,
+        }
+
+    def restore(self, state: dict[str, Any]) -> None:
+        """Overwrite counters, cache, and planner from a snapshot."""
+        self.intersections = state["intersections"]
+        self.fd_checks = state["fd_checks"]
+        self.uniqueness_checks = state["uniqueness_checks"]
+        self.cache.restore(state["cache"])
+        if self.planner is not None and state["planner"] is not None:
+            self.planner.restore(state["planner"])
+
     # -- accounting -----------------------------------------------------------
 
     def kernel_counters(self) -> dict[str, int | float]:

@@ -246,6 +246,34 @@ class ValidationPlanner:
             ),
         }
 
+    # -- checkpoint round-trip ---------------------------------------------
+
+    _COUNTER_SLOTS = (
+        "bypassed",
+        "harvest_rows",
+        "fd_queries",
+        "fd_refuted",
+        "ucc_queries",
+        "ucc_refuted",
+        "ind_queries",
+        "ind_refuted",
+    )
+
+    def state(self) -> dict[str, int]:
+        """Query/refutation counters for intra-execution checkpoints.
+
+        Only the counters travel: the refutation index itself is rebuilt
+        deterministically (same relation, same config) on first use after
+        a resume, so restoring the counters makes a resumed run's totals
+        equal pre-crash work plus replay — the undisturbed values.
+        """
+        return {name: getattr(self, name) for name in self._COUNTER_SLOTS}
+
+    def restore(self, state: dict[str, int]) -> None:
+        """Overwrite the query counters with a :meth:`state` snapshot."""
+        for name in self._COUNTER_SLOTS:
+            setattr(self, name, state[name])
+
     def __repr__(self) -> str:
         state = (
             "bypassed"

@@ -569,6 +569,34 @@ DEFAULT_SCHEMA: dict[str, Any] = {
             ],
             "events": ["sampling.bypass"],
         },
+        "cache": {
+            "spans": [],
+            "counters": ["cache.corrupt"],
+            "events": ["cache.hit", "cache.corrupt", "cache.put_failed"],
+        },
+        "checkpoint": {
+            "spans": [],
+            "counters": ["checkpoint.saves", "checkpoint.loads"],
+            "events": [
+                "checkpoint.save",
+                "checkpoint.load",
+                "checkpoint.complete",
+            ],
+        },
+        "retry": {
+            "spans": [],
+            "counters": [
+                "retry.retries",
+                "retry.recovered",
+                "retry.exhausted",
+            ],
+            "events": ["retry.backoff"],
+        },
+        "watchdog": {
+            "spans": [],
+            "counters": ["watchdog.kills"],
+            "events": ["watchdog.kill"],
+        },
     },
 }
 

@@ -6,9 +6,13 @@ import pytest
 
 from repro.faults import (
     CACHE_PUT,
+    CHECKPOINT_LOAD,
+    CHECKPOINT_SAVE,
     CSV_READ,
     FAULT_POINTS,
     PROFILER_STEP,
+    RESULT_CACHE_GET,
+    RESULT_CACHE_PUT,
     SAMPLING_HARVEST,
     FAULTS,
     FaultInjected,
@@ -152,9 +156,15 @@ class TestHarnessContainment:
     def test_every_point_is_exercised_somewhere(self):
         # Guard against new fault points being added without containment
         # coverage: this class must be extended alongside FAULT_POINTS.
+        # The retry-absorbed I/O points (checkpoint + result cache) are
+        # exercised in tests/harness/test_retry.py and the fault campaign.
         assert set(FAULT_POINTS) == {
             CSV_READ,
             CACHE_PUT,
             PROFILER_STEP,
             SAMPLING_HARVEST,
+            CHECKPOINT_SAVE,
+            CHECKPOINT_LOAD,
+            RESULT_CACHE_GET,
+            RESULT_CACHE_PUT,
         }

@@ -83,7 +83,7 @@ class TestResultCache:
         payload = {"algorithm": "x", "numbers": [1, 2, 3]}
         cache.put("ab" * 32, "muds", payload, {"seed": 0})
         assert cache.get("ab" * 32, "muds", {"seed": 0}) == payload
-        assert cache.stats() == {"hits": 1, "misses": 0, "puts": 1}
+        assert cache.stats() == {"hits": 1, "misses": 0, "puts": 1, "corrupt": 0}
 
     def test_cells_are_separated_by_all_key_parts(self, cache):
         fingerprint = "cd" * 32
@@ -185,6 +185,67 @@ class TestConfigKeyStability:
             p for p in cache.root.rglob("*") if p.is_file() and "tmp" in p.name
         ]
         assert leftovers == []
+
+
+class TestQuarantine:
+    def test_corrupt_entry_is_quarantined_exactly_once(self, cache):
+        fingerprint = "78" * 32
+        cache.put(fingerprint, "muds", {"v": 1})
+        path = cache.entry_path(fingerprint, "muds")
+        path.write_text("{ unparseable", encoding="utf-8")
+
+        assert cache.get(fingerprint, "muds") is None
+        assert cache.stats()["corrupt"] == 1
+        assert not path.exists()  # moved, not re-read forever
+        quarantined = list((cache.root / "quarantine").iterdir())
+        assert [p.name for p in quarantined] == [path.name]
+        assert quarantined[0].read_text(encoding="utf-8") == "{ unparseable"
+
+        # Second lookup of the healed cell: a plain missing-file miss.
+        assert cache.get(fingerprint, "muds") is None
+        assert cache.stats()["corrupt"] == 1
+        assert len(list((cache.root / "quarantine").iterdir())) == 1
+
+    def test_quarantine_name_collisions_get_suffixes(self, cache):
+        fingerprint = "9a" * 32
+        path = cache.entry_path(fingerprint, "muds")
+        for _ in range(3):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text("{ corrupt again", encoding="utf-8")
+            assert cache.get(fingerprint, "muds") is None
+        names = sorted(p.name for p in (cache.root / "quarantine").iterdir())
+        assert names == [path.name, f"{path.name}.1", f"{path.name}.2"]
+        assert cache.stats()["corrupt"] == 3
+
+    def test_structural_envelope_mismatch_is_not_quarantined(self, cache):
+        # Valid JSON with the wrong envelope (e.g. version bump) is a
+        # plain miss: the entry is stale, not corrupt evidence.
+        fingerprint = "bc" * 32
+        cache.put(fingerprint, "muds", {"v": 1})
+        path = cache.entry_path(fingerprint, "muds")
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        envelope["format_version"] = CACHE_FORMAT_VERSION + 1
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        assert cache.get(fingerprint, "muds") is None
+        assert cache.stats()["corrupt"] == 0
+        assert path.exists()
+        assert not (cache.root / "quarantine").exists()
+
+    def test_corruption_traces_event_and_counter(self, cache):
+        from repro import trace
+
+        tracer = trace.enable()
+        fingerprint = "de" * 32
+        cache.put(fingerprint, "muds", {"v": 1})
+        path = cache.entry_path(fingerprint, "muds")
+        path.write_text("{ torn", encoding="utf-8")
+        assert cache.get(fingerprint, "muds") is None
+        assert tracer.counters["cache.corrupt"] == 1
+        event = next(
+            e for e in tracer.events if e["name"] == "cache.corrupt"
+        )
+        assert event["attrs"]["entry"] == path.name
+        assert event["attrs"]["quarantined"] is True
 
 
 class TestFrameworkIntegration:
