@@ -13,6 +13,7 @@ from __future__ import annotations
 from .. import trace as _trace
 from ..metadata.results import ProfilingResult
 from ..pli import backend as _backend
+from ..relation import encoded as _encoded
 from ..relation.relation import Relation
 from ..sampling import SamplingConfig
 from .baseline import BaselineProfiler
@@ -44,6 +45,7 @@ def profile(
     jobs: int | None = None,
     sampling: SamplingConfig | bool | None = None,
     pli_backend: str | None = None,
+    storage: str | None = None,
 ) -> ProfilingResult:
     """Discover all unary INDs, minimal UCCs, and minimal FDs of a relation.
 
@@ -77,6 +79,12 @@ def profile(
         discovered metadata is bit-identical across backends — only the
         kernel's speed changes.  Scoped: the previous backend is restored
         on return.
+    storage:
+        Column-storage mode for this call's PLI substrate (``"objects"``
+        / ``"encoded"`` / ``"mmap"``); ``None`` keeps the process's armed
+        mode (default ``encoded``, or ``$REPRO_STORAGE``).  Metadata and
+        counters are bit-identical across modes — only memory residency
+        and speed change.  Scoped like ``pli_backend``.
 
     Returns
     -------
@@ -87,13 +95,16 @@ def profile(
         raise ValueError(f"unknown algorithm {algorithm!r}; pick one of {ALGORITHMS}")
     if algorithm == "auto":
         algorithm = choose_algorithm(relation)
-    with _backend.use_backend(pli_backend), _trace.span(
+    with _backend.use_backend(pli_backend), _encoded.use_storage(
+        storage
+    ), _trace.span(
         "profile",
         algorithm=algorithm,
         dataset=relation.name,
         columns=relation.n_columns,
         rows=relation.n_rows,
         pli_backend=_backend.ACTIVE.name,
+        storage=_encoded.ACTIVE,
     ):
         if algorithm == "muds":
             return Muds(

@@ -35,6 +35,7 @@ __all__ = [
     "CHECKPOINT_LOAD",
     "RESULT_CACHE_GET",
     "RESULT_CACHE_PUT",
+    "STORAGE_SPILL",
     "FAULT_POINTS",
     "FaultInjected",
     "FaultRegistry",
@@ -63,6 +64,9 @@ RESULT_CACHE_GET = "result_cache.get"
 #: Fault point hit once per result-cache write attempt
 #: (:meth:`repro.harness.result_cache.ResultCache.put`).
 RESULT_CACHE_PUT = "result_cache.put"
+#: Fault point hit once per spill-file chunk write in ``mmap`` storage
+#: mode (:meth:`repro.relation.encoded.ColumnEncoder._flush`).
+STORAGE_SPILL = "storage.spill"
 
 #: Every fault point compiled into the substrate.
 FAULT_POINTS = (
@@ -74,6 +78,7 @@ FAULT_POINTS = (
     CHECKPOINT_LOAD,
     RESULT_CACHE_GET,
     RESULT_CACHE_PUT,
+    STORAGE_SPILL,
 )
 
 

@@ -46,10 +46,14 @@ __all__ = [
     "guarded",
 ]
 
-#: Rough CPython cost of one row id held in a PLI cluster (a boxed int
-#: plus its tuple slot).  The memory budget is an *estimate* by design:
-#: it bounds the clustered rows materialized by intersections, the only
-#: quantity that grows without bound on adversarial inputs.
+#: Rough CPython cost of one row id held in a PLI cluster under *object*
+#: storage (a boxed int plus its tuple slot).  The memory budget is an
+#: *estimate* by design: it bounds the clustered rows materialized by
+#: intersections, the only quantity that grows without bound on
+#: adversarial inputs.  Under the dictionary-encoded storage modes the
+#: per-row figure is rebased to the dense encoded width (8 B) — budgets
+#: resolve the active storage mode at :meth:`Budget.start` via
+#: :func:`repro.relation.encoded.estimated_bytes_per_clustered_row`.
 ESTIMATED_BYTES_PER_CLUSTERED_ROW = 32
 
 
@@ -101,6 +105,13 @@ class Budget:
         A cooperative :meth:`checkpoint` reads the clock only every
         ``stride``-th call, keeping the per-iteration cost of guarded
         loops to two integer operations.  Intersections always check.
+    bytes_per_clustered_row:
+        Estimated memory per clustered row id used by the cluster-memory
+        accounting.  ``None`` (the default) resolves from the active
+        storage mode at each :meth:`start` — 32 B for boxed object
+        columns, 8 B once the substrate runs on dictionary-encoded code
+        arrays — so one ``--max-cluster-bytes`` figure means the same
+        physical bound whichever storage mode a run selects.
 
     A budget is re-armed by :meth:`start` (which :func:`guarded` calls),
     so one instance can be reused across executions; ``intersections``,
@@ -115,6 +126,8 @@ class Budget:
         "checkpoint_stride",
         "intersections",
         "cluster_bytes",
+        "bytes_per_clustered_row",
+        "_configured_bytes_per_row",
         "_started_at",
         "_deadline_at",
         "_ticks",
@@ -126,6 +139,7 @@ class Budget:
         max_intersections: int | None = None,
         max_cluster_bytes: int | None = None,
         checkpoint_stride: int = 64,
+        bytes_per_clustered_row: int | None = None,
     ):
         for name, value in (
             ("deadline_seconds", deadline_seconds),
@@ -136,6 +150,12 @@ class Budget:
                 raise ValueError(f"{name} must be non-negative, got {value}")
         if checkpoint_stride < 1:
             raise ValueError(f"checkpoint_stride must be >= 1, got {checkpoint_stride}")
+        if bytes_per_clustered_row is not None and bytes_per_clustered_row < 1:
+            raise ValueError(
+                f"bytes_per_clustered_row must be positive, got "
+                f"{bytes_per_clustered_row}"
+            )
+        self._configured_bytes_per_row = bytes_per_clustered_row
         self.deadline_seconds = deadline_seconds
         self.max_intersections = max_intersections
         self.max_cluster_bytes = max_cluster_bytes
@@ -148,6 +168,14 @@ class Budget:
         """(Re-)arm the budget: zero the counters, anchor the deadline."""
         self.intersections = 0
         self.cluster_bytes = 0
+        if self._configured_bytes_per_row is not None:
+            self.bytes_per_clustered_row = self._configured_bytes_per_row
+        else:
+            # Deferred import: this module stays import-order neutral for
+            # the substrate layers that import it at load time.
+            from .relation.encoded import estimated_bytes_per_clustered_row
+
+            self.bytes_per_clustered_row = estimated_bytes_per_clustered_row()
         self._ticks = 0
         self._started_at = time.perf_counter()
         self._deadline_at = (
@@ -198,7 +226,7 @@ class Budget:
                 f"exhausted after {self.elapsed_seconds:.3f}s",
                 self,
             )
-        self.cluster_bytes += clustered_rows * ESTIMATED_BYTES_PER_CLUSTERED_ROW
+        self.cluster_bytes += clustered_rows * self.bytes_per_clustered_row
         if (
             self.max_cluster_bytes is not None
             and self.cluster_bytes > self.max_cluster_bytes

@@ -50,6 +50,7 @@ from .. import liveness as _liveness
 from .. import trace as _trace
 from ..guard import Budget
 from ..pli import backend as _backend
+from ..relation import encoded as _encoded
 from ..relation.relation import Relation
 from .framework import (
     Framework,
@@ -169,6 +170,11 @@ class PointTask:
     #: selection is process-global, so the parent's choice must travel
     #: explicitly — a spawned worker does not inherit it.
     pli_backend: str | None = None
+    #: Column-storage mode to arm in the worker before executing the
+    #: point (``None`` keeps the worker's import-time default).  Same
+    #: rationale as ``pli_backend``: the mode is process-global and must
+    #: travel explicitly across a spawn boundary.
+    storage: str | None = None
     #: Directory of per-pid liveness files for the parent's hung-worker
     #: watchdog (``None`` leaves the worker silent); filled in by
     #: :func:`run_sweep_points` when a watchdog grace is armed.
@@ -215,6 +221,10 @@ def _execute_point_record(task: PointTask, SweepPoint) -> dict[str, Any]:
         # explicit choice should fail the point loudly rather than let
         # workers silently compute on a different kernel than the parent.
         _backend.set_backend(task.pli_backend)
+    if task.storage is not None:
+        # Same contract for the storage mode: the worker's substrate must
+        # encode (or not) exactly like the parent's would have.
+        _encoded.set_storage(task.storage)
     if task.trace and _trace.ACTIVE is None:
         # The parent was tracing when it built the task; bring this
         # worker's process-local tracer up so the point's events exist to

@@ -24,7 +24,20 @@ from ..faults import CACHE_PUT, FAULTS
 from ..relation.columnset import size
 from .pli import PLI
 
-__all__ = ["PliCache"]
+__all__ = ["PliCache", "estimated_pli_bytes"]
+
+
+def estimated_pli_bytes(pli: PLI) -> int:
+    """Estimated encoded size of one cached PLI.
+
+    Sized for the dictionary-encoded substrate: 8 B per clustered row id
+    (the dense int64 the kernels materialize) plus per-cluster and
+    per-entry overhead.  Deliberately storage-mode independent — the
+    clustered rows of a composite PLI are the same whichever storage mode
+    produced them, so byte-budget eviction decisions (and the resulting
+    counters) are identical across modes.
+    """
+    return 64 + 8 * pli.n_clustered_rows + 16 * len(pli.clusters)
 
 
 class PliCache:
@@ -33,14 +46,28 @@ class PliCache:
     ``insertions`` counts entries actually stored (pinned or composite);
     ``evictions`` counts LRU removals.  A composite ``put`` on a
     capacity-0 cache is a no-op and moves neither counter.
+
+    With ``byte_budget`` set, composite retention is accounted in
+    estimated encoded bytes (:func:`estimated_pli_bytes`) instead of
+    entry count: inserting a PLI evicts least-recently-used composites
+    until the resident estimate fits the budget again, so one huge
+    composite displaces many small ones rather than counting as "one
+    entry".  The most recent insertion is never evicted by its own
+    arrival (a budget smaller than a single PLI degrades to caching just
+    that PLI, not to thrashing on every put).
     """
 
-    def __init__(self, capacity: int = 4096):
+    def __init__(self, capacity: int = 4096, byte_budget: int | None = None):
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
+        if byte_budget is not None and byte_budget < 0:
+            raise ValueError("byte_budget must be non-negative")
         self.capacity = capacity
+        self.byte_budget = byte_budget
         self._pinned: dict[int, PLI] = {}
         self._entries: OrderedDict[int, PLI] = OrderedDict()
+        #: Estimated encoded bytes of the resident composite entries.
+        self.composite_bytes = 0
         self.hits = 0
         self.misses = 0
         self.insertions = 0
@@ -92,18 +119,37 @@ class PliCache:
             return
         if self.capacity == 0:
             return
-        if mask not in self._entries:
+        previous = self._entries.get(mask)
+        if previous is None:
             self.insertions += 1
+        else:
+            self.composite_bytes -= estimated_pli_bytes(previous)
         self._entries[mask] = pli
         self._entries.move_to_end(mask)
+        self.composite_bytes += estimated_pli_bytes(pli)
+        if self.byte_budget is not None:
+            # Byte-budget mode: entry count is irrelevant; evict LRU
+            # composites until the resident estimate fits, always keeping
+            # the entry just inserted.
+            while (
+                len(self._entries) > 1
+                and self.composite_bytes > self.byte_budget
+            ):
+                _, evicted = self._entries.popitem(last=False)
+                self.composite_bytes -= estimated_pli_bytes(evicted)
+                self.evictions += 1
+                _trace.count("pli.cache_evictions")
+            return
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            _, evicted = self._entries.popitem(last=False)
+            self.composite_bytes -= estimated_pli_bytes(evicted)
             self.evictions += 1
             _trace.count("pli.cache_evictions")
 
     def clear_composites(self) -> None:
         """Drop every non-pinned entry (e.g. between profiling phases)."""
         self._entries.clear()
+        self.composite_bytes = 0
 
     # -- checkpoint round-trip ---------------------------------------------
 
@@ -128,8 +174,11 @@ class PliCache:
     def restore(self, state: dict) -> None:
         """Overwrite composite entries and counters with a snapshot."""
         self._entries.clear()
+        self.composite_bytes = 0
         for mask, pli in state["composites"]:
-            self._entries[mask] = _ckpt.pli_from_state(pli)
+            restored = _ckpt.pli_from_state(pli)
+            self._entries[mask] = restored
+            self.composite_bytes += estimated_pli_bytes(restored)
         self.hits = state["hits"]
         self.misses = state["misses"]
         self.insertions = state["insertions"]
@@ -145,6 +194,7 @@ class PliCache:
         """Counter snapshot for harness reporting."""
         return {
             "cache_entries": len(self),
+            "cache_bytes": self.composite_bytes,
             "cache_hits": self.hits,
             "cache_misses": self.misses,
             "cache_insertions": self.insertions,

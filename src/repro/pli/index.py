@@ -24,6 +24,7 @@ from collections.abc import Sequence
 from typing import Any
 
 from ..guard import checkpoint
+from ..relation import encoded as _encoded
 from ..relation.columnset import bit, iter_bits, lowest_bit
 from ..relation.relation import Relation
 from ..sampling import SamplingConfig, ValidationPlanner, resolve_sampling
@@ -76,7 +77,30 @@ class RelationIndex:
             ValidationPlanner(self, config) if config is not None else None
         )
 
+        # Under an encoded storage mode, in-memory relations (generators,
+        # tests) gain dictionary encodings here; CSV-read relations already
+        # carry them.  The code path below then replaces per-value hashing
+        # with integer grouping for every encoded column.
+        if _encoded.ACTIVE != "objects":
+            _encoded.encode_relation(relation)
+
         for column_index in range(self.n_columns):
+            encoding = relation.encoding(column_index)
+            if encoding is not None:
+                # Codes are first-seen ordered, so the code array is the
+                # dense value vector, the dictionary is the duplicate-free
+                # value list, and code-grouped clusters are already
+                # canonical — one integer pass replaces the hash grouping.
+                clusters, np_state = kernel_backend.column_pli_from_codes(
+                    encoding, self.n_rows
+                )
+                pli = PLI._from_canonical(clusters, self.n_rows)
+                if np_state is not None:
+                    pli._np = np_state
+                self.cache.put(bit(column_index), pli)
+                self._vectors.append(kernel_backend.vector_from_codes(encoding))
+                self._distinct_values.append(list(encoding.dictionary))
+                continue
             values = relation.column(column_index)
             # One grouping pass per column yields the PLI, the dense value
             # vector, and the duplicate-free value list together.

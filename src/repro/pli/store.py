@@ -19,6 +19,7 @@ interactive session — not process-global.  :meth:`discard` and
 from __future__ import annotations
 
 from .. import trace as _trace
+from ..relation import encoded as _encoded
 from ..relation.relation import Relation
 from ..sampling import SamplingConfig
 from . import backend as _backend
@@ -46,6 +47,10 @@ class PliStore:
         backend for the process — the idiom the parallel layer uses to
         give every worker the sweep's backend.  ``None`` keeps whatever
         is armed (the environment default).
+    storage:
+        Column-storage mode the substrate ingests relations under
+        (``"objects"`` / ``"encoded"`` / ``"mmap"``).  Process-global
+        like ``pli_backend``; ``None`` keeps the armed mode.
     """
 
     def __init__(
@@ -53,13 +58,18 @@ class PliStore:
         cache_capacity: int = 4096,
         sampling: SamplingConfig | bool | None = None,
         pli_backend: str | None = None,
+        storage: str | None = None,
     ):
         self.cache_capacity = cache_capacity
         self.sampling = sampling
         if pli_backend is not None:
             _backend.set_backend(pli_backend)
+        if storage is not None:
+            _encoded.set_storage(storage)
         #: Name of the kernel backend armed when this store was created.
         self.pli_backend = _backend.ACTIVE.name
+        #: Storage mode armed when this store was created.
+        self.storage = _encoded.ACTIVE
         self._indexes: dict[int, tuple[Relation, RelationIndex]] = {}
         #: Index builds performed (one per distinct relation seen).
         self.builds = 0
@@ -89,6 +99,7 @@ class PliStore:
             columns=relation.n_columns,
             rows=relation.n_rows,
             backend=_backend.ACTIVE.name,
+            storage=_encoded.ACTIVE,
         ):
             index = RelationIndex(
                 relation,

@@ -1,0 +1,552 @@
+"""Dictionary-encoded columnar storage (with an out-of-core spill path).
+
+The profiling substrate never needs the *values* of a column on its hot
+path — it needs to know which rows share a value.  This module therefore
+stores each column as
+
+* a **dictionary**: the distinct values in first-seen order, and
+* a dense **code array**: one ``int32`` per row, the row's value's index
+  in the dictionary.
+
+Codes are assigned in first-seen order, which makes them exactly the
+dense value ids :func:`repro.pli.pli.value_vector` would produce — so an
+encoded column *is* the probe vector of FD refinement checks, and its
+single-column PLI falls out of one grouping pass over integer codes with
+no per-value hashing or boxing at all
+(:meth:`repro.pli.backend.PythonBackend.column_pli_from_codes` /
+the NumPy backend's argsort grouping, which consumes the code buffer
+zero-copy via ``np.frombuffer``).
+
+Three **storage modes** exist, selected process-globally like the PLI
+kernel backend (``--storage`` / ``$REPRO_STORAGE`` /
+:func:`set_storage` / :func:`use_storage`):
+
+* ``objects`` — the seed representation: columns are tuples of boxed
+  Python values, the index re-groups them per column.  Kept as the
+  differential baseline.
+* ``encoded`` — the default: code arrays live in ``array('i')`` buffers
+  (stdlib only, the zero-dependency promise).  This is the mode every
+  pipeline runs on unless told otherwise.
+* ``mmap`` — the out-of-core mode: code arrays are spilled to
+  memory-mapped files under a spill directory
+  (``$REPRO_SPILL_DIR`` or the system temp dir), so the resident cost of
+  a relation is its dictionaries plus a bounded chunk buffer — relations
+  far larger than RAM profile without thrashing.  Spill files are
+  process-private temporaries: each is created with an unpredictable
+  name, unlinked by a finalizer when its column is garbage collected,
+  and never reused across runs.
+
+Spill-file writes trip the :data:`~repro.faults.STORAGE_SPILL` fault
+point and are retried under the harness retry policy (transient I/O is
+absorbed exactly like cache/checkpoint writes).
+
+Exactness: encoding is a bijective re-labelling per column, so PLIs,
+value vectors, and distinct-value lists derived from codes are
+bit-identical to the object path — the differential and metamorphic
+suites parametrize over all three modes to pin this.
+"""
+
+from __future__ import annotations
+
+import io
+import mmap
+import os
+import tempfile
+import weakref
+from array import array
+from contextlib import contextmanager
+from typing import Any, Iterator, Sequence
+
+from .. import trace as _trace
+from ..faults import FAULTS, STORAGE_SPILL
+
+__all__ = [
+    "ACTIVE",
+    "ENV_VAR",
+    "SPILL_DIR_ENV",
+    "STORAGE_MODES",
+    "CODE_BYTES",
+    "SPILL_CHUNK_CODES",
+    "ColumnEncoder",
+    "EncodedColumn",
+    "StorageUnavailable",
+    "active_storage",
+    "encode_column",
+    "encode_relation",
+    "estimated_bytes_per_clustered_row",
+    "resolve_storage",
+    "set_storage",
+    "spill_directory",
+    "use_storage",
+]
+
+#: Environment variable naming the default storage mode for the process.
+ENV_VAR = "REPRO_STORAGE"
+#: Environment variable overriding the spill directory for ``mmap`` mode.
+SPILL_DIR_ENV = "REPRO_SPILL_DIR"
+
+#: Valid storage modes, in "most boxed" to "least resident" order.
+STORAGE_MODES = ("objects", "encoded", "mmap")
+
+#: Bytes per code: ``array('i')`` / little-endian ``int32`` on every
+#: platform this package targets (dictionary sizes are bounded by the
+#: row count, which is far below 2^31).
+CODE_BYTES = 4
+
+#: Codes buffered in memory per column before an ``mmap``-mode spill
+#: flush; bounds the resident build cost of one column to
+#: ``SPILL_CHUNK_CODES * CODE_BYTES`` bytes regardless of row count.
+SPILL_CHUNK_CODES = 65_536
+
+
+class StorageUnavailable(RuntimeError):
+    """An explicitly requested storage mode cannot be used."""
+
+
+def resolve_storage(choice: str | None) -> str:
+    """Validate a storage-mode name (``None`` means ``encoded``)."""
+    name = (choice or "encoded").strip().lower()
+    if name not in STORAGE_MODES:
+        raise StorageUnavailable(
+            f"unknown storage mode {choice!r}; available: {STORAGE_MODES}"
+        )
+    return name
+
+
+def _from_environment() -> str:
+    """Import-time default: ``$REPRO_STORAGE`` or ``encoded``.
+
+    Like the kernel backend's environment path, an unusable value warns
+    and degrades instead of poisoning every import of the package.
+    """
+    choice = os.environ.get(ENV_VAR)
+    if not choice:
+        return "encoded"
+    try:
+        return resolve_storage(choice)
+    except StorageUnavailable as error:
+        import warnings
+
+        warnings.warn(
+            f"{ENV_VAR}={choice!r} ignored ({error}); "
+            "falling back to the encoded storage mode",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return "encoded"
+
+
+#: The process-wide active storage mode (read at ingest time by
+#: ``read_csv``, ``encode_relation``, and ``RelationIndex``).
+ACTIVE: str = _from_environment()
+
+
+def active_storage() -> str:
+    """The storage mode currently armed for the process."""
+    return ACTIVE
+
+
+def set_storage(choice: str | None) -> str:
+    """Arm a storage mode process-wide and return its name.
+
+    ``None`` re-resolves the environment default.  Raises
+    :class:`StorageUnavailable` for an unknown explicit choice, leaving
+    the previously armed mode in place.
+    """
+    global ACTIVE
+    mode = _from_environment() if choice is None else resolve_storage(choice)
+    ACTIVE = mode
+    return mode
+
+
+@contextmanager
+def use_storage(choice: str | None) -> Iterator[str]:
+    """Scoped storage-mode selection (tests, the ``profile()`` facade).
+    ``None`` keeps the currently armed mode — a no-op context."""
+    global ACTIVE
+    if choice is None:
+        yield ACTIVE
+        return
+    previous = ACTIVE
+    ACTIVE = resolve_storage(choice)
+    try:
+        yield ACTIVE
+    finally:
+        ACTIVE = previous
+
+
+def spill_directory(override: str | None = None) -> str:
+    """Resolve the spill directory for ``mmap``-mode code files.
+
+    Precedence: explicit ``override``, ``$REPRO_SPILL_DIR``, the system
+    temp dir.  The directory is created if missing.
+    """
+    root = override or os.environ.get(SPILL_DIR_ENV) or tempfile.gettempdir()
+    os.makedirs(root, exist_ok=True)
+    return root
+
+
+def estimated_bytes_per_clustered_row(storage: str | None = None) -> int:
+    """Estimated memory cost of one clustered row id under ``storage``.
+
+    The execution guard's cluster-memory budget multiplies clustered
+    rows by this figure.  Object storage pays a boxed int plus its tuple
+    slot (~32 B); encoded storage is accounted at the dense-code width
+    the substrate actually feeds the kernel.
+    """
+    mode = resolve_storage(storage) if storage is not None else ACTIVE
+    if mode == "objects":
+        return 32
+    return 8  # int64 row id in an encoded cluster / kernel array
+
+
+class EncodedColumn:
+    """One dictionary-encoded column: dense codes plus a dictionary.
+
+    Behaves like the tuple of values it encodes — ``len``, indexing,
+    slicing, iteration, equality, and hashing all see decoded values —
+    so a :class:`~repro.relation.relation.Relation` can hold it in place
+    of an object column.  The profiling substrate bypasses the decoded
+    view entirely and reads :attr:`codes` / :attr:`dictionary` directly.
+
+    ``codes`` is an ``array('i')`` (``encoded`` mode) or a ``memoryview``
+    over a memory-mapped spill file (``mmap`` mode); both subscript to
+    plain ints.  Do not mutate either attribute.
+    """
+
+    __slots__ = (
+        "codes",
+        "dictionary",
+        "storage",
+        "spill_path",
+        "_mmap",
+        "_hash",
+        "_finalizer",
+        "__weakref__",
+    )
+
+    def __init__(
+        self,
+        codes: "array | memoryview",
+        dictionary: list[Any],
+        storage: str = "encoded",
+        spill_path: str | None = None,
+        mapped: "mmap.mmap | None" = None,
+    ):
+        self.codes = codes
+        self.dictionary = dictionary
+        self.storage = storage
+        self.spill_path = spill_path
+        self._mmap = mapped
+        self._hash: int | None = None
+        # Spill-file lifecycle: the file exists exactly as long as some
+        # column reads it; collection closes the map and unlinks.
+        if spill_path is not None:
+            self._finalizer = weakref.finalize(
+                self, _release_spill, mapped, spill_path
+            )
+        else:
+            self._finalizer = None
+
+    # -- substrate views ---------------------------------------------------
+
+    @property
+    def n_codes(self) -> int:
+        """Distinct values (the dictionary size)."""
+        return len(self.dictionary)
+
+    @property
+    def encoded_bytes(self) -> int:
+        """Estimated resident bytes of this column's encoded form."""
+        return len(self.codes) * CODE_BYTES + 64 * len(self.dictionary)
+
+    def code_buffer(self) -> "array | memoryview":
+        """The raw int32 code buffer (zero-copy input for
+        ``np.frombuffer``)."""
+        return self.codes
+
+    def python_vector(self) -> Sequence[int]:
+        """Dense value vector in the pure-python kernel's preferred form.
+
+        In-memory codes convert to a flat list once (list subscripts do
+        not box, the hot-loop property the kernel relies on); mmap-backed
+        codes stay a memoryview so the resident footprint keeps its
+        bound — the slower subscript is the price of out-of-core mode.
+        """
+        if self.storage == "mmap":
+            return self.codes
+        return self.codes.tolist()
+
+    # -- decoded tuple-like face -------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def __getitem__(self, key: int | slice) -> Any:
+        if isinstance(key, slice):
+            dictionary = self.dictionary
+            return tuple(dictionary[code] for code in self.codes[key])
+        return self.dictionary[self.codes[key]]
+
+    def __iter__(self) -> Iterator[Any]:
+        dictionary = self.dictionary
+        for code in self.codes:
+            yield dictionary[code]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, EncodedColumn):
+            if self.dictionary == other.dictionary:
+                return _codes_equal(self.codes, other.codes)
+            other = tuple(other)
+        if isinstance(other, (tuple, list)):
+            if len(other) != len(self.codes):
+                return False
+            return all(mine == theirs for mine, theirs in zip(self, other))
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        # Must match the decoded tuple's hash so an encoded relation and
+        # its object twin stay interchangeable as dict/set keys.
+        if self._hash is None:
+            self._hash = hash(tuple(self))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return (
+            f"EncodedColumn({len(self.codes)} rows, "
+            f"{len(self.dictionary)} distinct, storage={self.storage!r})"
+        )
+
+    # -- process boundary --------------------------------------------------
+
+    def __reduce__(self):
+        # mmap views cannot travel; rebuild as an in-memory encoded
+        # column on the far side (same codes, same dictionary).
+        return (
+            _rebuild_encoded_column,
+            (array("i", self.codes), self.dictionary),
+        )
+
+
+def _rebuild_encoded_column(codes: "array", dictionary: list[Any]) -> EncodedColumn:
+    return EncodedColumn(codes, dictionary, storage="encoded")
+
+
+def _codes_equal(left, right) -> bool:
+    if len(left) != len(right):
+        return False
+    return bytes(left) == bytes(right)
+
+
+def _release_spill(mapped: "mmap.mmap | None", path: str) -> None:
+    """Finalizer: close the map and delete the spill file (best effort)."""
+    try:
+        if mapped is not None:
+            mapped.close()
+    except (BufferError, ValueError, OSError):  # pragma: no cover - teardown
+        pass
+    try:
+        os.unlink(path)
+    except OSError:  # pragma: no cover - already gone / dir vanished
+        pass
+
+
+class ColumnEncoder:
+    """Streaming builder of one :class:`EncodedColumn`.
+
+    Values arrive one at a time (:meth:`add`), each is mapped to its
+    dictionary code, and the code lands in a bounded chunk buffer.  In
+    ``mmap`` mode a full buffer is spilled to the column's temp file (a
+    retry-absorbed, fault-injectable write), so the resident build cost
+    never scales with the row count.
+    """
+
+    __slots__ = (
+        "storage",
+        "_codes",
+        "_chunk",
+        "_dictionary",
+        "_positions",
+        "_spill_dir",
+        "_path",
+        "_handle",
+        "_spilled",
+    )
+
+    def __init__(self, storage: str | None = None, spill_dir: str | None = None):
+        self.storage = resolve_storage(storage) if storage is not None else ACTIVE
+        if self.storage == "objects":
+            raise StorageUnavailable(
+                "objects storage has no encoder; build the relation directly"
+            )
+        self._dictionary: list[Any] = []
+        self._positions: dict[Any, int] = {}
+        self._spill_dir = spill_dir
+        self._path: str | None = None
+        self._handle: io.BufferedWriter | None = None
+        self._spilled = 0
+        if self.storage == "mmap":
+            self._codes = None
+            self._chunk = array("i")
+        else:
+            self._codes = array("i")
+            self._chunk = None
+
+    def add(self, value: Any) -> int:
+        """Encode one value; returns its dictionary code."""
+        positions = self._positions
+        code = positions.get(value)
+        if code is None:
+            code = len(positions)
+            positions[value] = code
+            self._dictionary.append(value)
+        if self._chunk is not None:
+            self._chunk.append(code)
+            if len(self._chunk) >= SPILL_CHUNK_CODES:
+                self._flush()
+        else:
+            self._codes.append(code)
+        return code
+
+    def extend(self, values: Iterator[Any]) -> None:
+        """Encode a whole iterable of values."""
+        for value in values:
+            self.add(value)
+
+    # -- spill path --------------------------------------------------------
+
+    def _open_spill(self) -> None:
+        handle, path = tempfile.mkstemp(
+            prefix="repro-codes-", suffix=".i32", dir=spill_directory(self._spill_dir)
+        )
+        self._handle = os.fdopen(handle, "wb")
+        self._path = path
+
+    def _flush(self) -> None:
+        """Spill the chunk buffer to the column's code file.
+
+        The write trips the ``storage.spill`` fault point and runs under
+        the bounded retry policy, so transient I/O (a briefly-full disk,
+        an injected fault) is absorbed exactly like cache/checkpoint
+        writes; permanent errors surface immediately.
+        """
+        if not self._chunk:
+            return
+        if self._handle is None:
+            self._open_spill()
+        payload = self._chunk.tobytes()
+
+        def write() -> None:
+            if FAULTS.armed:
+                FAULTS.trip(STORAGE_SPILL)
+            self._handle.write(payload)
+
+        # Deferred import: the harness layer imports the relation layer,
+        # so the reverse edge must not run at module import time.
+        from ..harness.retry import RetryPolicy
+
+        RetryPolicy().call(write, key=f"storage.spill:{self._path}")
+        self._spilled += len(payload)
+        _trace.count("storage.spilled_bytes", len(payload))
+        del self._chunk[:]
+
+    def finish(self) -> EncodedColumn:
+        """Seal the column and return its :class:`EncodedColumn`."""
+        if self.storage != "mmap":
+            return EncodedColumn(self._codes, self._dictionary, storage="encoded")
+        self._flush()
+        if self._handle is None:
+            # Zero rows: nothing was ever spilled; an empty mmap is
+            # invalid, so degrade to an (empty) in-memory column.
+            return EncodedColumn(array("i"), self._dictionary, storage="encoded")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._handle.close()
+        self._handle = None
+        with open(self._path, "rb") as handle:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        codes = memoryview(mapped).cast("i")
+        return EncodedColumn(
+            codes,
+            self._dictionary,
+            storage="mmap",
+            spill_path=self._path,
+            mapped=mapped,
+        )
+
+    def abort(self) -> None:
+        """Discard a half-built column (close and unlink any spill file)."""
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            finally:
+                self._handle = None
+        if self._path is not None:
+            try:
+                os.unlink(self._path)
+            except OSError:
+                pass
+            self._path = None
+
+
+def encode_column(
+    values: Sequence[Any],
+    storage: str | None = None,
+    spill_dir: str | None = None,
+) -> EncodedColumn:
+    """Dictionary-encode one materialized column."""
+    encoder = ColumnEncoder(storage=storage, spill_dir=spill_dir)
+    try:
+        encoder.extend(iter(values))
+        return encoder.finish()
+    except BaseException:
+        encoder.abort()
+        raise
+
+
+def encode_relation(
+    relation: "Any",
+    storage: str | None = None,
+    spill_dir: str | None = None,
+) -> "Any":
+    """Attach dictionary encodings to ``relation`` (in place) and return it.
+
+    Columns that are already :class:`EncodedColumn` instances are kept;
+    plain columns gain a sidecar encoding, leaving the object tuples
+    untouched (``objects`` mode is therefore a no-op).  The substrate
+    (:class:`~repro.pli.index.RelationIndex`) consults
+    ``relation.encoding(i)`` and takes the code path whenever one exists.
+    """
+    mode = resolve_storage(storage) if storage is not None else ACTIVE
+    if mode == "objects":
+        return relation
+    if all(
+        relation.encoding(index) is not None
+        for index in range(relation.n_columns)
+    ):
+        return relation
+    with _trace.span(
+        "storage.encode",
+        relation=relation.name,
+        columns=relation.n_columns,
+        rows=relation.n_rows,
+        storage=mode,
+    ):
+        encodings = []
+        for index in range(relation.n_columns):
+            existing = relation.encoding(index)
+            if existing is not None:
+                encodings.append(existing)
+                continue
+            column = encode_column(
+                relation.column(index), storage=mode, spill_dir=spill_dir
+            )
+            encodings.append(column)
+            tracer = _trace.ACTIVE
+            if tracer is not None:
+                tracer.count("storage.encoded_columns")
+                tracer.count(
+                    "storage.dictionary_entries", len(column.dictionary)
+                )
+        relation._encodings = tuple(encodings)
+    return relation

@@ -17,6 +17,8 @@ import hashlib
 from collections.abc import Iterable, Iterator, Sequence
 from typing import Any
 
+from .encoded import EncodedColumn
+
 Value = Any
 
 __all__ = ["Relation", "SchemaError"]
@@ -60,6 +62,35 @@ def _value_token(value: Value) -> bytes:
     return b"\x00o" + str(len(payload)).encode() + b":" + payload
 
 
+#: Domain separator of the fingerprint format.  v2 hashes each column
+#: into its own SHA-256 digest and combines the per-column digests — the
+#: shape that lets ``read_csv`` fold fingerprinting into its row-order
+#: streaming pass (one hasher per column) while the post-hoc path walks
+#: columns; both produce identical bytes per column, hence identical
+#: fingerprints.
+_FINGERPRINT_DOMAIN = b"repro-relation-v2\x00"
+
+
+def _column_hasher(name: str) -> "hashlib._Hash":
+    """Fresh per-column fingerprint hasher, seeded with the column name."""
+    digest = hashlib.sha256()
+    encoded = name.encode("utf-8", "surrogatepass")
+    digest.update(b"\x00c" + str(len(encoded)).encode() + b":" + encoded)
+    return digest
+
+
+def _combine_column_digests(
+    n_columns: int, n_rows: int, digests: Iterable[bytes]
+) -> str:
+    """Fold per-column digests plus the dimensions into the fingerprint."""
+    final = hashlib.sha256()
+    final.update(_FINGERPRINT_DOMAIN)
+    final.update(f"{n_columns}x{n_rows}".encode())
+    for digest in digests:
+        final.update(digest)
+    return final.hexdigest()
+
+
 class Relation:
     """An immutable, column-oriented table.
 
@@ -80,6 +111,7 @@ class Relation:
         "_name",
         "_positions",
         "_fingerprint",
+        "_encodings",
     )
 
     def __init__(
@@ -95,7 +127,12 @@ class Relation:
             raise SchemaError(
                 f"{len(names)} column names but {len(columns)} columns of data"
             )
-        cols = tuple(tuple(col) for col in columns)
+        # Dictionary-encoded columns are held as-is (they present the
+        # decoded tuple interface); anything else is frozen into a tuple.
+        cols = tuple(
+            col if isinstance(col, EncodedColumn) else tuple(col)
+            for col in columns
+        )
         lengths = {len(col) for col in cols}
         if len(lengths) > 1:
             raise SchemaError(f"ragged columns: lengths {sorted(lengths)}")
@@ -105,6 +142,7 @@ class Relation:
         self._name = name
         self._positions = {n: i for i, n in enumerate(names)}
         self._fingerprint: str | None = None
+        self._encodings: tuple[EncodedColumn | None, ...] | None = None
 
     # -- constructors ------------------------------------------------------
 
@@ -174,6 +212,24 @@ class Relation:
             raise IndexError(f"column index {key} out of range")
         return key
 
+    def encoding(self, key: int | str) -> EncodedColumn | None:
+        """This column's dictionary encoding, or ``None`` if it has none.
+
+        An encoding exists either because the column *is* an
+        :class:`~repro.relation.encoded.EncodedColumn` (the ``read_csv``
+        path) or because :func:`~repro.relation.encoded.encode_relation`
+        attached a sidecar (in-memory relations).  The PLI substrate
+        consults this and takes the integer-code path whenever it is
+        non-``None``.
+        """
+        index = self.column_index(key)
+        column = self._columns[index]
+        if isinstance(column, EncodedColumn):
+            return column
+        if self._encodings is not None:
+            return self._encodings[index]
+        return None
+
     def row(self, index: int) -> tuple[Value, ...]:
         """Materialize row ``index`` as a tuple."""
         return tuple(col[index] for col in self._columns)
@@ -199,15 +255,24 @@ class Relation:
         """
         if self._fingerprint is not None:
             return self._fingerprint
-        digest = hashlib.sha256()
-        digest.update(b"repro-relation-v1\x00")
-        digest.update(f"{len(self._names)}x{self._n_rows}".encode())
-        for name, column in zip(self._names, self._columns):
-            encoded = name.encode("utf-8", "surrogatepass")
-            digest.update(b"\x00c" + str(len(encoded)).encode() + b":" + encoded)
-            for value in column:
-                digest.update(_value_token(value))
-        self._fingerprint = digest.hexdigest()
+        digests = []
+        for index, (name, column) in enumerate(zip(self._names, self._columns)):
+            digest = _column_hasher(name)
+            encoding = self.encoding(index)
+            if encoding is not None:
+                # Token per dictionary entry, streamed per code: the same
+                # byte sequence as tokenizing every row, at dictionary
+                # (not row) tokenization cost.
+                tokens = [_value_token(value) for value in encoding.dictionary]
+                for code in encoding.codes:
+                    digest.update(tokens[code])
+            else:
+                for value in column:
+                    digest.update(_value_token(value))
+            digests.append(digest.digest())
+        self._fingerprint = _combine_column_digests(
+            len(self._names), self._n_rows, digests
+        )
         return self._fingerprint
 
     # -- transformations ---------------------------------------------------
@@ -215,11 +280,14 @@ class Relation:
     def project(self, keys: Sequence[int | str], name: str | None = None) -> "Relation":
         """Return a new relation containing only the given columns."""
         indexes = [self.column_index(k) for k in keys]
-        return Relation(
+        projected = Relation(
             [self._names[i] for i in indexes],
             [self._columns[i] for i in indexes],
             name=name or self._name,
         )
+        if self._encodings is not None:
+            projected._encodings = tuple(self._encodings[i] for i in indexes)
+        return projected
 
     def head(self, n_rows: int, name: str | None = None) -> "Relation":
         """Return a new relation containing only the first ``n_rows`` rows."""
@@ -239,7 +307,17 @@ class Relation:
         """
         seen: set[tuple[Value, ...]] = set()
         keep: list[int] = []
-        for index, row in enumerate(self.iter_rows()):
+        # Rows are equal iff their per-column codes are equal (encoding is
+        # a per-column bijection), so fully-encoded relations deduplicate
+        # over int tuples — no value decoding or boxing.
+        encodings = [self.encoding(i) for i in range(self.n_columns)]
+        if self._columns and all(e is not None for e in encodings):
+            rows: Iterable[tuple[Value, ...]] = zip(
+                *(e.codes for e in encodings)
+            )
+        else:
+            rows = self.iter_rows()
+        for index, row in enumerate(rows):
             if row not in seen:
                 seen.add(row)
                 keep.append(index)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import random
 import time
+import weakref
 from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
@@ -43,7 +44,7 @@ class ValidationPlanner:
     """Per-index refutation front end with lazy, guarded harvesting."""
 
     __slots__ = (
-        "index",
+        "_index",
         "config",
         "bypassed",
         "harvest_rows",
@@ -59,7 +60,13 @@ class ValidationPlanner:
     )
 
     def __init__(self, index: "RelationIndex", config: SamplingConfig):
-        self.index = index
+        # Weak back-reference: the index owns its planner, so a strong
+        # reference here would turn every index/planner pair into cyclic
+        # garbage that only a collector pass frees.  Encoded-storage runs
+        # allocate so few Python objects that those passes are rare, and
+        # each uncollected pair pins two single-column PLIs (plus their
+        # kernel arrays) — per-pair profiling sweeps leak gigabytes.
+        self._index = weakref.ref(index)
         self.config = config
         #: True when the deadline guard skipped the harvest for this run.
         self.bypassed = False
@@ -73,6 +80,18 @@ class ValidationPlanner:
         self.ind_refuted = 0
         self._refutation: RefutationIndex | None = None
         self._attempted = False
+
+    @property
+    def index(self) -> "RelationIndex":
+        """The owning index (weakly held; see ``__init__``)."""
+        index = self._index()
+        if index is None:
+            raise ReferenceError(
+                "the RelationIndex owning this ValidationPlanner has been "
+                "garbage-collected; keep a reference to the index while "
+                "querying its planner"
+            )
+        return index
 
     # -- stage 1: harvest --------------------------------------------------
 

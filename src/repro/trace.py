@@ -597,6 +597,15 @@ DEFAULT_SCHEMA: dict[str, Any] = {
             "counters": ["watchdog.kills"],
             "events": ["watchdog.kill"],
         },
+        "storage": {
+            "spans": ["storage.encode"],
+            "counters": [
+                "storage.encoded_columns",
+                "storage.dictionary_entries",
+                "storage.spilled_bytes",
+            ],
+            "events": [],
+        },
     },
 }
 

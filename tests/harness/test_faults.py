@@ -14,6 +14,7 @@ from repro.faults import (
     RESULT_CACHE_GET,
     RESULT_CACHE_PUT,
     SAMPLING_HARVEST,
+    STORAGE_SPILL,
     FAULTS,
     FaultInjected,
     FaultRegistry,
@@ -156,8 +157,9 @@ class TestHarnessContainment:
     def test_every_point_is_exercised_somewhere(self):
         # Guard against new fault points being added without containment
         # coverage: this class must be extended alongside FAULT_POINTS.
-        # The retry-absorbed I/O points (checkpoint + result cache) are
-        # exercised in tests/harness/test_retry.py and the fault campaign.
+        # The retry-absorbed I/O points (checkpoint + result cache +
+        # storage spill, see tests/test_fault_injection.py) are exercised
+        # in tests/harness/test_retry.py and the fault campaign.
         assert set(FAULT_POINTS) == {
             CSV_READ,
             CACHE_PUT,
@@ -167,4 +169,5 @@ class TestHarnessContainment:
             CHECKPOINT_LOAD,
             RESULT_CACHE_GET,
             RESULT_CACHE_PUT,
+            STORAGE_SPILL,
         }

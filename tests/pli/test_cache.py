@@ -3,10 +3,20 @@
 import pytest
 
 from repro.pli import PLI, PliCache
+from repro.pli.cache import estimated_pli_bytes
 
 
 def make_pli(n: int = 4) -> PLI:
     return PLI([[0, 1]], n)
+
+
+def sized_pli(n_clusters: int, cluster_size: int = 2) -> PLI:
+    """A PLI whose estimated byte size scales with its cluster count."""
+    clusters = [
+        list(range(i * cluster_size, (i + 1) * cluster_size))
+        for i in range(n_clusters)
+    ]
+    return PLI(clusters, n_clusters * cluster_size)
 
 
 class TestPliCache:
@@ -104,6 +114,65 @@ class TestPinnedOnlyMode:
         assert cache.hits == 1
         assert cache.misses == 1
         assert cache.hit_rate == pytest.approx(0.5)
+
+
+class TestByteBudget:
+    """Byte-budget mode: composite retention accounted in estimated
+    encoded bytes instead of entry count."""
+
+    def test_one_large_composite_evicted_before_two_small_ones(self):
+        small_a, small_b = sized_pli(2), sized_pli(2)
+        large = sized_pli(200)
+        budget = 2 * estimated_pli_bytes(small_a) + estimated_pli_bytes(large)
+        cache = PliCache(byte_budget=budget)
+        cache.put(0b0011, large)
+        cache.put(0b0101, small_a)
+        # Fits so far; the next small composite pushes the estimate over
+        # the budget, and evicting the (LRU) large entry alone re-fits —
+        # the two small ones survive a single eviction.
+        cache.put(0b1001, sized_pli(2))
+        assert cache.composite_bytes > budget - estimated_pli_bytes(large)
+        cache.put(0b0110, small_b)
+        assert 0b0011 not in cache
+        assert 0b0101 in cache and 0b1001 in cache and 0b0110 in cache
+        assert cache.evictions == 1
+        assert cache.composite_bytes <= budget
+
+    def test_entry_count_is_irrelevant_under_a_byte_budget(self):
+        cache = PliCache(capacity=2, byte_budget=10**6)
+        for index in range(8):
+            cache.put(0b11 << index, sized_pli(2))
+        assert len(cache._entries) == 8  # capacity=2 not enforced
+        assert cache.evictions == 0
+
+    def test_oversized_insertion_keeps_itself_only(self):
+        cache = PliCache(byte_budget=estimated_pli_bytes(sized_pli(2)))
+        cache.put(0b011, sized_pli(2))
+        cache.put(0b101, sized_pli(500))  # alone it exceeds the budget
+        assert 0b011 not in cache
+        assert 0b101 in cache  # never evicted by its own arrival
+
+    def test_replacement_rebalances_the_byte_estimate(self):
+        cache = PliCache(byte_budget=10**6)
+        cache.put(0b11, sized_pli(100))
+        heavy = cache.composite_bytes
+        cache.put(0b11, sized_pli(2))  # same mask, smaller PLI
+        assert cache.composite_bytes == estimated_pli_bytes(sized_pli(2))
+        assert cache.composite_bytes < heavy
+        assert cache.insertions == 1  # replacement, not a new entry
+
+    def test_bytes_tracked_through_clear_and_stats(self):
+        cache = PliCache(byte_budget=10**6)
+        cache.put(0b1, make_pli())  # pinned: never byte-accounted
+        cache.put(0b11, sized_pli(3))
+        assert cache.stats()["cache_bytes"] == estimated_pli_bytes(sized_pli(3))
+        cache.clear_composites()
+        assert cache.composite_bytes == 0
+        assert cache.stats()["cache_bytes"] == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            PliCache(byte_budget=-1)
 
 
 class TestCounters:

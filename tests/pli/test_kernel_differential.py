@@ -7,12 +7,13 @@ workload generators in :mod:`repro.datasets.generators`:
    seed kernel's cluster-set path (kept as
    :func:`repro.pli.legacy_intersect`), and ``refines`` agrees with the
    Lemma-1 cardinality formulation on the same inputs — on *every*
-   available kernel backend (python, and numpy when installed);
+   available kernel backend (python, and numpy when installed) under
+   *every* column-storage mode (objects / encoded / mmap);
 2. TANE, FUN, and MUDS produce identical minimal FDs when all driven
    through one shared :class:`~repro.pli.PliStore`;
-3. the kernel backends are interchangeable: identical clusters, identical
-   discovered metadata, and identical kernel counters modulo the backend
-   name itself.
+3. the kernel backends and the storage modes are interchangeable:
+   identical clusters, identical discovered metadata, and identical
+   kernel counters modulo the backend name itself.
 """
 
 import itertools
@@ -32,6 +33,7 @@ from repro.pli import (
     numpy_available,
     use_backend,
 )
+from repro.relation.encoded import STORAGE_MODES, use_storage
 
 # ~200 randomized relations: 3 generators x seeds x sizes.  Small rows keep
 # the quadratic all-pairs intersection sweep fast.
@@ -52,6 +54,7 @@ def _build(name, factory, rows, cols, seed):
     return factory(rows, n_columns=cols, seed=seed)
 
 
+@pytest.mark.parametrize("storage_mode", STORAGE_MODES)
 @pytest.mark.parametrize("backend_name", available_backends())
 @pytest.mark.parametrize(
     "name, factory, rows, cols, seed",
@@ -59,10 +62,10 @@ def _build(name, factory, rows, cols, seed):
     ids=[f"{c[0]}-{c[2]}x{c[3]}-s{c[4]}" for c in _CASES],
 )
 def test_new_kernel_matches_legacy_on_generated_relations(
-    name, factory, rows, cols, seed, backend_name
+    name, factory, rows, cols, seed, backend_name, storage_mode
 ):
     relation = _build(name, factory, rows, cols, seed)
-    with use_backend(backend_name):
+    with use_backend(backend_name), use_storage(storage_mode):
         index = RelationIndex(relation)
         plis = [index.column_pli(c) for c in range(relation.n_columns)]
         vectors = [index.vector(c) for c in range(relation.n_columns)]
@@ -109,13 +112,13 @@ def test_fd_signatures_agree_on_ncvoter_geometry():
     assert store.builds == 1
 
 
-# -- backend interchangeability ---------------------------------------------
+# -- backend / storage interchangeability -----------------------------------
 
 
-def _profile_on_backend(backend_name, relation, seed):
+def _profile_on_backend(backend_name, relation, seed, storage_mode=None):
     """One full MUDS + TANE + FUN pass on a fresh substrate; returns the
     discovered metadata, the composite clusters, and the kernel deltas."""
-    with use_backend(backend_name):
+    with use_backend(backend_name), use_storage(storage_mode):
         before = KERNEL_STATS.snapshot()
         store = PliStore()
         index = store.index_for(relation)
@@ -148,30 +151,69 @@ def _profile_on_backend(backend_name, relation, seed):
     }
 
 
+_INTERCHANGE_CASES = [
+    (uniprot_like, 60, 8, 0),
+    (uniprot_like, 90, 6, 3),
+    (ncvoter_like, 80, 8, 1),
+    (lambda r, n_columns, seed: ionosphere_like(
+        n_columns, n_rows=r, seed=seed
+    ), 70, 7, 2),
+]
+_INTERCHANGE_IDS = [
+    "uniprot-60x8", "uniprot-90x6", "ncvoter-80x8", "ionosphere-70x7"
+]
+
+
 @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+@pytest.mark.parametrize("storage_mode", STORAGE_MODES)
 @pytest.mark.parametrize(
-    "factory, rows, cols, seed",
-    [
-        (uniprot_like, 60, 8, 0),
-        (uniprot_like, 90, 6, 3),
-        (ncvoter_like, 80, 8, 1),
-        (lambda r, n_columns, seed: ionosphere_like(
-            n_columns, n_rows=r, seed=seed
-        ), 70, 7, 2),
-    ],
-    ids=["uniprot-60x8", "uniprot-90x6", "ncvoter-80x8", "ionosphere-70x7"],
+    "factory, rows, cols, seed", _INTERCHANGE_CASES, ids=_INTERCHANGE_IDS
 )
-def test_backends_are_interchangeable(factory, rows, cols, seed):
-    """The tentpole contract: swapping the kernel backend changes nothing
-    observable but speed — identical clusters (the canonical form is the
-    identity), identical discovered metadata, and identical kernel
-    counters modulo the backend name (the accounting parity documented on
-    each backend method)."""
+def test_backends_are_interchangeable(factory, rows, cols, seed, storage_mode):
+    """The kernel-backend contract, pinned under every storage mode:
+    swapping the backend changes nothing observable but speed — identical
+    clusters (the canonical form is the identity), identical discovered
+    metadata, and identical kernel counters modulo the backend name (the
+    accounting parity documented on each backend method)."""
     relation = factory(rows, n_columns=cols, seed=seed)
-    python = _profile_on_backend("python", relation, seed)
-    numpy = _profile_on_backend("numpy", relation, seed)
+    python = _profile_on_backend("python", relation, seed, storage_mode)
+    numpy = _profile_on_backend("numpy", relation, seed, storage_mode)
     assert python["clusters"] == numpy["clusters"]
     assert python["pair_clusters"] == numpy["pair_clusters"]
     for key in ("tane_fds", "fun_fds", "muds_fds", "uccs", "inds"):
         assert python[key] == numpy[key], f"{key} diverged across backends"
     assert python["counters"] == numpy["counters"]
+
+
+@pytest.mark.parametrize("backend_name", available_backends())
+@pytest.mark.parametrize(
+    "factory, rows, cols, seed", _INTERCHANGE_CASES, ids=_INTERCHANGE_IDS
+)
+def test_storage_modes_are_interchangeable(factory, rows, cols, seed, backend_name):
+    """The columnar-storage contract: dictionary encoding is a bijective
+    re-labelling, so swapping objects / encoded / mmap storage changes
+    nothing observable — bit-identical clusters, metadata, and kernel
+    counters (not merely modulo a name: the *same* backend must count the
+    same work whichever storage fed it).
+
+    Each mode profiles a freshly generated relation (the generators are
+    seed-deterministic) because encodings attach to relations in place —
+    reusing one object would let the first mode's sidecar leak into the
+    ``objects`` baseline.
+    """
+    profiles = {
+        mode: _profile_on_backend(
+            backend_name, factory(rows, n_columns=cols, seed=seed), seed, mode
+        )
+        for mode in STORAGE_MODES
+    }
+    baseline = profiles["objects"]
+    for mode in ("encoded", "mmap"):
+        candidate = profiles[mode]
+        assert candidate["clusters"] == baseline["clusters"], mode
+        assert candidate["pair_clusters"] == baseline["pair_clusters"], mode
+        for key in ("tane_fds", "fun_fds", "muds_fds", "uccs", "inds"):
+            assert candidate[key] == baseline[key], (
+                f"{key} diverged between objects and {mode} storage"
+            )
+        assert candidate["counters"] == baseline["counters"], mode

@@ -29,6 +29,39 @@ def test_planner_is_lazy_and_harvests_once():
     assert planner.refutation() is first
 
 
+def test_index_planner_pair_frees_by_refcount_alone():
+    """The planner's back-reference is weak, so dropping the last
+    reference to an index reclaims it immediately — no collector pass.
+
+    Per-pair profiling sweeps build one fresh index per column pair;
+    under encoded storage so few Python objects are allocated that
+    automatic gc passes are rare, and a strong index<->planner cycle
+    would pin every pair's column PLIs (and their kernel arrays) until
+    one ran — gigabytes over a large sweep."""
+    import gc
+    import weakref
+
+    index = RelationIndex(_relation(), sampling=True)
+    assert index.planner is not None
+    ref = weakref.ref(index)
+    gc.disable()
+    try:
+        del index
+        assert ref() is None
+    finally:
+        gc.enable()
+
+
+def test_planner_reports_a_collected_index():
+    """A standalone planner that outlives its index fails loudly, not
+    with a dangling reference."""
+    planner = ValidationPlanner(
+        RelationIndex(_relation(), sampling=False), SamplingConfig()
+    )
+    with pytest.raises(ReferenceError):
+        planner.index
+
+
 def test_disabled_sampling_has_no_planner():
     assert RelationIndex(_relation(), sampling=False).planner is None
     assert PliStore(sampling=False).index_for(_relation()).planner is None
@@ -96,10 +129,10 @@ def test_no_budget_means_no_bypass():
 
 
 def test_prefilter_clears_refuted_pairs_only():
-    planner = ValidationPlanner(
-        RelationIndex(_relation(), sampling=False),
-        SamplingConfig(ind_probe_values=4),
-    )
+    # The planner holds its index weakly (the index owns the planner in
+    # normal use), so a standalone planner needs the index kept alive.
+    index = RelationIndex(_relation(), sampling=False)
+    planner = ValidationPlanner(index, SamplingConfig(ind_probe_values=4))
     values = [["a", "b"], ["a", "b", "c"], ["z"]]
     refs = planner.prefilter_ind_refs(values)
     assert refs is not None

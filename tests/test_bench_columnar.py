@@ -1,0 +1,45 @@
+"""Acceptance gates over the committed columnar-storage benchmark.
+
+``benchmarks/results/BENCH_columnar.json`` is a full-profile artifact
+produced by ``benchmarks/bench_columnar.py`` (1M-row end-to-end cells
+plus the 10M-row out-of-core workload).  These tests pin the numbers of
+record so a regression that silently re-commits a degraded run — or a
+run that never met the bars — fails tier-1 rather than slipping by.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+RESULT = Path(__file__).parent.parent / "benchmarks/results/BENCH_columnar.json"
+
+
+@pytest.fixture(scope="module")
+def document():
+    if not RESULT.exists():
+        pytest.skip("BENCH_columnar.json not committed in this checkout")
+    return json.loads(RESULT.read_text())
+
+
+def test_committed_run_is_the_full_profile(document):
+    assert document["benchmark"] == "columnar"
+    assert document["profile"] == "full"
+    assert document["end_to_end"]["rows"] >= 1_000_000
+    assert document["out_of_core"]["rows"] >= 10_000_000
+
+
+def test_heavy_cell_median_speedup_meets_the_2x_bar(document):
+    cells = document["end_to_end"]
+    assert cells["results_agree"] is True
+    assert cells["heavy_cell_median_speedup"] >= 2.0
+    heavy = [c for c in cells["cells"] if c["intersect_heavy"]]
+    assert heavy, "no intersect-heavy cells recorded"
+
+
+def test_mmap_10m_row_run_stayed_under_the_fixed_memory_bound(document):
+    ooc = document["out_of_core"]
+    assert ooc["within_bound"] is True
+    assert ooc["mmap"]["peak_rss_bytes"] <= ooc["memory_bound_bytes"]
+    # The bound is fixed (an absolute budget), not relative to the run.
+    assert ooc["memory_bound_bytes"] == 3 * 1024**3

@@ -21,6 +21,7 @@ from repro.faults import (
     PROFILER_STEP,
     RESULT_CACHE_GET,
     RESULT_CACHE_PUT,
+    STORAGE_SPILL,
     FAULTS,
 )
 from repro.harness import (
@@ -41,6 +42,10 @@ RETRY_ABSORBED = {
     CHECKPOINT_SAVE,
     RESULT_CACHE_GET,
     RESULT_CACHE_PUT,
+    # Spill-file chunk writes only happen under ``--storage mmap``; in the
+    # default encoded mode the point never trips (fired == 0), and the
+    # dedicated mmap campaign below exercises the armed path.
+    STORAGE_SPILL,
 }
 
 pytestmark = pytest.mark.skipif(
@@ -149,6 +154,31 @@ class TestSeededCampaign:
         replay = framework.run("muds", relation)
         FAULTS.disarm()
         assert replay.status == outcomes[0]
+
+    def test_spill_fault_absorbed_under_mmap_storage(self, csv_path):
+        """A transient spill-write fault under ``mmap`` storage costs one
+        retry, never a failed read or a wrong profile."""
+        from repro.faults import FaultInjected
+        from repro.relation import encoded as storage
+
+        reference = reference_metadata(csv_path)
+        with storage.use_storage("mmap"):
+            FAULTS.arm(STORAGE_SPILL, at=1)
+            relation = read_csv(csv_path).deduplicated()
+            fired = FAULTS.fired(STORAGE_SPILL)
+            FAULTS.disarm()
+            assert fired == 1  # the point genuinely tripped and was absorbed
+            execution = default_framework().run("hfun", relation)
+        assert execution.status == "ok"
+        assert execution.result.same_metadata(reference)
+
+        # A *permanent* spill failure exhausts the bounded retries and
+        # surfaces as the injected error instead of corrupting the column.
+        with storage.use_storage("mmap"):
+            FAULTS.arm_seeded(STORAGE_SPILL, probability=1.0, seed=0)
+            with pytest.raises(FaultInjected):
+                read_csv(csv_path)
+            FAULTS.disarm()
 
     def test_cache_fault_mid_campaign_recovers(self, csv_path):
         reference = reference_metadata(csv_path)
