@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import heapq
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from .. import checkpointing as _ckpt
 from .. import trace as _trace
@@ -25,6 +26,9 @@ from ..pli.index import RelationIndex
 from ..pli.store import PliStore
 from ..relation.relation import Relation
 from .values import canonical_value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sampling.harvester import SamplingConfig
 
 __all__ = ["spider", "spider_on_relation", "spider_across"]
 
@@ -156,6 +160,8 @@ def spider_on_relation(
 
 def spider_across(
     relations: Sequence[Relation],
+    sampling: "SamplingConfig | bool | None" = False,
+    checkpoint_stage: str | None = None,
 ) -> list[tuple[tuple[int, int], tuple[int, int]]]:
     """Unary INDs across several relations — SPIDER's original setting.
 
@@ -164,25 +170,56 @@ def spider_across(
     merges any set of sorted value lists.  Returns pairs of
     ``(relation_index, column_index)`` locators, dependent first; INDs
     between columns of the *same* relation are included.
+
+    ``sampling`` arms the seeded value-probe prefilter over the *union*
+    of all relations' columns (``False`` — the historical default — runs
+    the merge unfiltered; ``None``/``True``/a config enable it as
+    elsewhere).  The probe is pure set membership, so prefiltering is an
+    exact refutation step and the discovered INDs are identical with it
+    on or off.
+
+    With ``checkpoint_stage`` set and a checkpoint session active, the
+    merge saves its cursor every ``merge_stride`` steps under that stage
+    and a later run resumes from the last saved boundary; a resumed merge
+    skips the prefilter, whose effect is already embedded in the restored
+    candidate sets (same contract as :func:`spider`).
     """
+    from ..sampling.harvester import resolve_sampling
+    from ..sampling.planner import probe_ind_refs
+
     locators: list[tuple[int, int]] = []
     sorted_values: list[list[str]] = []
-    for relation_index, relation in enumerate(relations):
-        for column in range(relation.n_columns):
-            locators.append((relation_index, column))
-            sorted_values.append(
-                sorted(
-                    {
-                        canonical_value(v)
-                        for v in relation.column(column)
-                        if v is not None
-                    }
+    with _trace.span("spider.sort", relations=len(relations)) as sort_span:
+        for relation_index, relation in enumerate(relations):
+            for column in range(relation.n_columns):
+                locators.append((relation_index, column))
+                sorted_values.append(
+                    sorted(
+                        {
+                            canonical_value(v)
+                            for v in relation.column(column)
+                            if v is not None
+                        }
+                    )
                 )
-            )
-    refs = _merge_candidates(sorted_values)
-    return sorted(
-        (locators[dependent], locators[referenced])
-        for dependent in range(len(locators))
-        for referenced in range(len(locators))
-        if dependent != referenced and refs[dependent] >> referenced & 1
-    )
+        sort_span.set(columns=len(locators))
+    config = resolve_sampling(sampling)
+    ckpt = _ckpt.ACTIVE if checkpoint_stage is not None else None
+    resuming = ckpt is not None and ckpt.resume(checkpoint_stage) is not None
+    initial_refs = None
+    if config is not None and not resuming:
+        initial_refs, _, _ = probe_ind_refs(
+            sorted_values, config.ind_probe_values, config.seed
+        )
+    with _trace.span("spider.merge", columns=len(locators)) as merge_span:
+        refs = _merge_candidates(
+            sorted_values, initial_refs, checkpoint_stage=checkpoint_stage
+        )
+        inds = sorted(
+            (locators[dependent], locators[referenced])
+            for dependent in range(len(locators))
+            for referenced in range(len(locators))
+            if dependent != referenced and refs[dependent] >> referenced & 1
+        )
+        merge_span.set(inds=len(inds))
+    return inds

@@ -11,6 +11,13 @@ Examples::
     python -m repro big.csv --storage mmap
     python -m repro data.csv --no-result-cache
     python -m repro --dataset bridges --trace out.jsonl
+    python -m repro profile-schema tables/ --jobs 4 --json catalog.json
+
+``profile-schema DIR`` switches to the multi-table mode: every ``*.csv``
+under DIR is profiled as one schema job (per-table FDs/UCCs/INDs,
+content-identical tables deduplicated by fingerprint, one cross-table
+SPIDER merge, ranked foreign-key candidates); see
+``repro profile-schema --help``.
 
 Completed profiles are cached under a content address of the input
 (``Relation.fingerprint()``); re-profiling an identical file answers
@@ -54,7 +61,7 @@ from .metadata.serialize import dumps, result_from_dict, result_to_dict
 from .relation.csv_io import read_csv
 from .relation.relation import Relation
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "build_schema_parser", "schema_main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -277,9 +284,246 @@ def _open_result_cache(args: argparse.Namespace, budget: Budget | None):
     return ResultCache(root)
 
 
+def build_schema_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro profile-schema",
+        description=(
+            "Profile a directory of CSV tables as one schema job: "
+            "per-table FDs/UCCs/unary INDs, fingerprint dedup of "
+            "content-identical tables, cross-table INDs via one SPIDER "
+            "merge over the union of all columns, and ranked foreign-key "
+            "candidates."
+        ),
+    )
+    parser.add_argument(
+        "directory", help="schema root; every *.csv below it is one table"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the per-table profiling sweep "
+        "(default: 1, serial)",
+    )
+    parser.add_argument(
+        "--algorithm",
+        choices=ALGORITHMS,
+        default="auto",
+        help="per-table algorithm (default: the §6.5 heuristic per table)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random-walk seed")
+    parser.add_argument("--delimiter", default=",", help="CSV field separator")
+    parser.add_argument(
+        "--no-header",
+        action="store_true",
+        help="CSVs have no header row (columns become column_0..n)",
+    )
+    sampling_group = parser.add_mutually_exclusive_group()
+    sampling_group.add_argument(
+        "--sampling",
+        dest="sampling",
+        action="store_true",
+        default=True,
+        help="enable the sampling-driven refutation engine (default); "
+        "the cross-table merge reuses its value probes as a prefilter",
+    )
+    sampling_group.add_argument(
+        "--no-sampling",
+        dest="sampling",
+        action="store_false",
+        help="disable sample-based refutation (results identical, slower)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per table execution and for the "
+        "cross-table merge; exceeded phases become TL entries in the "
+        "catalog and the exit code is 3",
+    )
+    parser.add_argument(
+        "--max-intersections",
+        type=int,
+        default=None,
+        metavar="N",
+        help="PLI-intersection work budget (per execution); exceeded "
+        "counts as TL",
+    )
+    parser.add_argument(
+        "--max-cluster-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="estimated PLI cluster-memory budget; exceeded counts as ML",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="journal every finished table and snapshot traversal/merge "
+        "state into DIR; re-running the same command after a kill resumes "
+        "at table granularity with a bit-identical catalog (default: "
+        "$REPRO_CHECKPOINT_DIR; off when neither is set)",
+    )
+    parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="ignore (and discard) earlier journal/checkpoint state",
+    )
+    parser.add_argument(
+        "--max-fk",
+        type=int,
+        default=None,
+        metavar="N",
+        help="report only the top-N foreign-key candidates",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a structured trace of the schema job as JSONL "
+        "(schema.* spans/counters; see docs/trace_schema.json)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the catalog as JSON (use '-' for stdout)",
+    )
+    return parser
+
+
+def _print_catalog_report(catalog) -> None:
+    print(catalog.summary())
+    print("\ntables:")
+    for table in catalog.tables:
+        if table.duplicate_of is not None:
+            detail = f"duplicate of {table.duplicate_of}"
+        elif table.result is not None:
+            inds, uccs, fds = (
+                len(table.result.inds),
+                len(table.result.uccs),
+                len(table.result.fds),
+            )
+            detail = (
+                f"{table.n_columns} cols x {table.n_rows} rows via "
+                f"{table.algorithm}: {inds} INDs, {uccs} UCCs, {fds} FDs"
+            )
+        else:
+            detail = table.error or table.status
+        marker = f" [{table.status}]" if table.status != "ok" else ""
+        print(f"  {table.name:28s} {detail}{marker}")
+    print("\ncross-table inclusion dependencies:")
+    for ind in catalog.cross_inds:
+        print(f"  {ind}")
+    if not catalog.cross_inds:
+        print("  (none)")
+    print("\nforeign-key candidates (best first):")
+    for candidate in catalog.fk_candidates:
+        print(f"  {candidate}")
+    if not catalog.fk_candidates:
+        print("  (none)")
+
+
+def schema_main(argv: Sequence[str]) -> int:
+    """``repro profile-schema`` entry point; returns a process exit code."""
+    from .harness.signals import graceful_shutdown as _graceful
+    from .metadata.serialize import catalog_dumps
+    from .schema import profile_schema
+
+    args = build_schema_parser().parse_args(argv)
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    budget = None
+    if (
+        args.deadline is not None
+        or args.max_intersections is not None
+        or args.max_cluster_bytes is not None
+    ):
+        budget = Budget(
+            deadline_seconds=args.deadline,
+            max_intersections=args.max_intersections,
+            max_cluster_bytes=args.max_cluster_bytes,
+        )
+    checkpoint_dir = args.checkpoint_dir or os.environ.get(
+        "REPRO_CHECKPOINT_DIR"
+    )
+    checkpoints = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+    trace_path = args.trace or _trace.env_trace_path()
+    tracer = _trace.enable() if args.trace else _trace.ACTIVE
+    try:
+        with _graceful():
+            catalog = profile_schema(
+                args.directory,
+                jobs=args.jobs,
+                algorithm=args.algorithm,
+                seed=args.seed,
+                sampling=args.sampling,
+                budget=budget,
+                checkpoints=checkpoints,
+                resume=not args.no_resume,
+                delimiter=args.delimiter,
+                has_header=not args.no_header,
+                max_fk_candidates=args.max_fk,
+            )
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except Interrupted as error:
+        print(f"{error}; stopping cleanly", file=sys.stderr)
+        if checkpoints is not None:
+            print(
+                "journal and checkpoints kept; re-running the same command "
+                "resumes at table granularity",
+                file=sys.stderr,
+            )
+        return EXIT_INTERRUPTED
+
+    if args.json:
+        payload = catalog_dumps(catalog)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"catalog written to {args.json}")
+    else:
+        _print_catalog_report(catalog)
+
+    if tracer is not None and trace_path is not None:
+        try:
+            written = _trace.write_jsonl(tracer.events, trace_path)
+        except OSError as error:
+            print(f"warning: trace write failed: {error}", file=sys.stderr)
+        else:
+            print(
+                f"trace written to {trace_path} ({written} events)",
+                file=sys.stderr,
+            )
+
+    statuses = {table.status for table in catalog.tables} | {catalog.status}
+    if statuses & {"timeout", "memory"}:
+        print(
+            "warning: budget-stopped entries in the catalog (TL/ML)",
+            file=sys.stderr,
+        )
+        return 3
+    if statuses != {"ok"}:
+        print("warning: failed entries in the catalog", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "profile-schema":
+        # Dispatched before the single-relation parser: the legacy CLI
+        # keeps its subcommand-free grammar (a bare CSV positional).
+        return schema_main(arguments[1:])
+    args = build_parser().parse_args(arguments)
     if args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2

@@ -36,6 +36,7 @@ __all__ = [
     "RESULT_CACHE_GET",
     "RESULT_CACHE_PUT",
     "STORAGE_SPILL",
+    "SCHEMA_LOAD",
     "FAULT_POINTS",
     "FaultInjected",
     "FaultRegistry",
@@ -67,6 +68,9 @@ RESULT_CACHE_PUT = "result_cache.put"
 #: Fault point hit once per spill-file chunk write in ``mmap`` storage
 #: mode (:meth:`repro.relation.encoded.ColumnEncoder._flush`).
 STORAGE_SPILL = "storage.spill"
+#: Fault point hit once per table loaded by a schema sweep
+#: (:meth:`repro.schema.job.SchemaJob.run`'s load phase).
+SCHEMA_LOAD = "schema.load"
 
 #: Every fault point compiled into the substrate.
 FAULT_POINTS = (
@@ -79,6 +83,7 @@ FAULT_POINTS = (
     RESULT_CACHE_GET,
     RESULT_CACHE_PUT,
     STORAGE_SPILL,
+    SCHEMA_LOAD,
 )
 
 

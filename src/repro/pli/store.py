@@ -30,7 +30,7 @@ __all__ = ["PliStore"]
 
 class PliStore:
     """Registry of shared :class:`RelationIndex` instances, keyed by
-    relation identity.
+    relation content fingerprint.
 
     Parameters
     ----------
@@ -70,7 +70,7 @@ class PliStore:
         self.pli_backend = _backend.ACTIVE.name
         #: Storage mode armed when this store was created.
         self.storage = _encoded.ACTIVE
-        self._indexes: dict[int, tuple[Relation, RelationIndex]] = {}
+        self._indexes: dict[str, tuple[Relation, RelationIndex]] = {}
         #: Index builds performed (one per distinct relation seen).
         self.builds = 0
         #: index_for calls answered with an existing index.
@@ -80,15 +80,21 @@ class PliStore:
         return len(self._indexes)
 
     def __contains__(self, relation: Relation) -> bool:
-        return id(relation) in self._indexes
+        return relation.fingerprint() in self._indexes
 
     def index_for(self, relation: Relation) -> RelationIndex:
         """The shared index of ``relation``, built on first request.
 
-        Keyed by object identity: the store keeps the relation alive, so
-        an id collision with a dead object cannot occur.
+        Keyed by the relation's content fingerprint, which covers the
+        column names and every cell value (but not the cosmetic
+        ``Relation.name``).  Two content-identical relation *objects*
+        therefore share one index — a schema sweep containing the same
+        table twice builds its PLIs once — while two different tables
+        that merely share column names can never alias each other's
+        entries the way an equality- or name-based key would allow.
         """
-        entry = self._indexes.get(id(relation))
+        fingerprint = relation.fingerprint()
+        entry = self._indexes.get(fingerprint)
         if entry is not None:
             self.reuses += 1
             _trace.count("pli.store_reuses")
@@ -106,7 +112,7 @@ class PliStore:
                 cache_capacity=self.cache_capacity,
                 sampling=self.sampling,
             )
-        self._indexes[id(relation)] = (relation, index)
+        self._indexes[fingerprint] = (relation, index)
         self.builds += 1
         tracer = _trace.ACTIVE
         if tracer is not None:
@@ -158,8 +164,8 @@ class PliStore:
         )
 
     def discard(self, relation: Relation) -> None:
-        """Drop the index of ``relation`` (no-op when absent)."""
-        self._indexes.pop(id(relation), None)
+        """Drop the index of ``relation``'s content (no-op when absent)."""
+        self._indexes.pop(relation.fingerprint(), None)
 
     def clear(self) -> None:
         """Drop every index (e.g. between benchmark sweeps)."""

@@ -37,7 +37,60 @@ from .refutation import RefutationIndex
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..pli.index import RelationIndex
 
-__all__ = ["ValidationPlanner"]
+__all__ = ["ValidationPlanner", "probe_ind_refs"]
+
+
+def probe_ind_refs(
+    value_lists: Sequence[Sequence[str]],
+    probe_values: int,
+    seed: int,
+) -> tuple[list[int], int, int]:
+    """SPIDER's seeded value-probe IND prefilter, as a pure function.
+
+    For each dependent attribute, up to ``probe_values`` seeded-sampled
+    values are probed against the *full* value set of every other
+    attribute; a missing value is an exact witness against the IND, so
+    the returned per-attribute reference masks start the merge phase with
+    those pairs already cleared.  The attributes may span several
+    relations — the probe is pure set membership, so cross-table
+    candidates prefilter exactly like same-table ones.
+
+    Returns ``(refs, queries, refuted)``.  Emits the
+    ``sampling.ind_prefilter`` span and the ``sampling.ind_refuted`` /
+    ``sampling.exact_avoided`` counters; callers with their own
+    bookkeeping (:class:`ValidationPlanner`) fold the totals in.
+    """
+    rng = random.Random(seed)
+    n = len(value_lists)
+    all_attrs = (1 << n) - 1
+    value_sets = [set(values) for values in value_lists]
+    refs: list[int] = []
+    queries = 0
+    refuted = 0
+    with _trace.span("sampling.ind_prefilter", columns=n) as span:
+        for dependent, values in enumerate(value_lists):
+            mask = all_attrs & ~(1 << dependent)
+            k = min(probe_values, len(values))
+            probes = (
+                rng.sample(values, k) if k < len(values) else list(values)
+            )
+            for referenced in range(n):
+                if referenced == dependent:
+                    continue
+                queries += 1
+                members = value_sets[referenced]
+                for value in probes:
+                    if value not in members:
+                        mask &= ~(1 << referenced)
+                        refuted += 1
+                        break
+            refs.append(mask)
+        span.set(refuted=refuted)
+    tracer = _trace.ACTIVE
+    if tracer is not None and refuted:
+        tracer.count("sampling.ind_refuted", refuted)
+        tracer.count("sampling.exact_avoided", refuted)
+    return refs, queries, refuted
 
 
 class ValidationPlanner:
@@ -213,36 +266,11 @@ class ValidationPlanner:
         """
         if self.refutation() is None:
             return None
-        rng = random.Random(self.config.seed)
-        n = len(value_lists)
-        all_attrs = (1 << n) - 1
-        value_sets = [set(values) for values in value_lists]
-        refs: list[int] = []
-        refuted_before = self.ind_refuted
-        with _trace.span("sampling.ind_prefilter", columns=n) as span:
-            for dependent, values in enumerate(value_lists):
-                mask = all_attrs & ~(1 << dependent)
-                k = min(self.config.ind_probe_values, len(values))
-                probes = (
-                    rng.sample(values, k) if k < len(values) else list(values)
-                )
-                for referenced in range(n):
-                    if referenced == dependent:
-                        continue
-                    self.ind_queries += 1
-                    members = value_sets[referenced]
-                    for value in probes:
-                        if value not in members:
-                            mask &= ~(1 << referenced)
-                            self.ind_refuted += 1
-                            break
-                refs.append(mask)
-            refuted = self.ind_refuted - refuted_before
-            span.set(refuted=refuted)
-        tracer = _trace.ACTIVE
-        if tracer is not None and refuted:
-            tracer.count("sampling.ind_refuted", refuted)
-            tracer.count("sampling.exact_avoided", refuted)
+        refs, queries, refuted = probe_ind_refs(
+            value_lists, self.config.ind_probe_values, self.config.seed
+        )
+        self.ind_queries += queries
+        self.ind_refuted += refuted
         return refs
 
     # -- accounting --------------------------------------------------------

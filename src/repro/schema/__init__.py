@@ -1,0 +1,37 @@
+"""Multi-table (schema-wide) profiling subsystem.
+
+One job sweeps a directory of CSV tables: per-table FD/UCC/IND profiles
+through the existing harness stack (process pool, budgets, result cache,
+checkpoints, journal resume), fingerprint dedup of content-identical
+tables, a cross-table SPIDER merge for schema-level INDs, and ranked
+foreign-key candidates on top.  See :mod:`repro.schema.job` for the
+phase walk-through and :mod:`repro.schema.catalog` for the result shape.
+"""
+
+from .catalog import CrossTableInd, SchemaCatalog, TableProfile, schema_fingerprint
+from .fk import ColumnFacts, ForeignKeyCandidate, fk_score, rank_fk_candidates
+from .job import (
+    SchemaJob,
+    discover_tables,
+    load_table,
+    profile_schema,
+    schema_framework,
+    table_name,
+)
+
+__all__ = [
+    "CrossTableInd",
+    "SchemaCatalog",
+    "TableProfile",
+    "schema_fingerprint",
+    "ColumnFacts",
+    "ForeignKeyCandidate",
+    "fk_score",
+    "rank_fk_candidates",
+    "SchemaJob",
+    "discover_tables",
+    "load_table",
+    "profile_schema",
+    "schema_framework",
+    "table_name",
+]

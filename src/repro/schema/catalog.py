@@ -1,0 +1,150 @@
+"""Schema-level catalog record: the merged output of one schema sweep.
+
+A :class:`SchemaCatalog` is to a directory of tables what a
+:class:`~repro.metadata.results.ProfilingResult` is to one relation: the
+per-table FDs/UCCs/unary INDs (one :class:`TableProfile` per table, the
+full single-relation result riding inside), the cross-table unary INDs
+discovered by SPIDER's merge over the union of all columns, and the
+foreign-key candidates ranked on top of them.  The JSON face lives in
+:mod:`repro.metadata.serialize` (``catalog_to_dict`` and friends), keyed
+by its own format version.
+
+Identity conventions: tables are addressed by their *table name* (the
+CSV's root-relative path without suffix), columns by
+``table.column`` pairs.  Content-identical tables are deduplicated by
+relation fingerprint before profiling — the duplicate's entry stays in
+the catalog with :attr:`TableProfile.duplicate_of` pointing at the
+representative whose :attr:`TableProfile.result` holds the metadata.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..metadata.results import ProfilingResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .fk import ForeignKeyCandidate
+
+__all__ = ["TableProfile", "CrossTableInd", "SchemaCatalog", "schema_fingerprint"]
+
+
+@dataclass(slots=True)
+class TableProfile:
+    """One table's entry in the catalog.
+
+    Exactly one of three shapes: a *representative* (``result`` holds the
+    single-relation profile), a *duplicate* (``duplicate_of`` names the
+    content-identical representative; ``result`` is ``None``), or a
+    *failed load* (``status="error"``, ``fingerprint`` is ``None``).
+    """
+
+    name: str
+    #: Source path relative to the schema root (``None`` for in-memory).
+    path: str | None = None
+    #: Content fingerprint (``None`` only when the load itself failed).
+    fingerprint: str | None = None
+    n_columns: int = 0
+    n_rows: int = 0
+    #: The single-relation algorithm the §6.5 heuristic selected (or the
+    #: pinned one); ``None`` for failed loads.
+    algorithm: str | None = None
+    #: ``ok`` | ``timeout`` | ``memory`` | ``error`` (load or execution).
+    status: str = "ok"
+    error: str | None = None
+    seconds: float = 0.0
+    cached: bool = False
+    resumed: bool = False
+    #: Representative table name when this table was fingerprint-deduped.
+    duplicate_of: str | None = None
+    #: Single-relation profile (representatives only).
+    result: ProfilingResult | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True iff the table loaded and (if profiled) completed."""
+        return self.status == "ok"
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class CrossTableInd:
+    """A unary IND whose dependent and referenced columns live in
+    *different* tables (same-table INDs stay in the table's result)."""
+
+    dependent_table: str
+    dependent_column: str
+    referenced_table: str
+    referenced_column: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.dependent_table}.{self.dependent_column} ⊆ "
+            f"{self.referenced_table}.{self.referenced_column}"
+        )
+
+
+@dataclass(slots=True)
+class SchemaCatalog:
+    """Merged, schema-level profiling record of one schema sweep."""
+
+    name: str
+    tables: list[TableProfile] = field(default_factory=list)
+    cross_inds: list[CrossTableInd] = field(default_factory=list)
+    fk_candidates: "list[ForeignKeyCandidate]" = field(default_factory=list)
+    #: Deterministic schema-level counters (table/dedup/IND/FK totals).
+    counters: dict[str, int] = field(default_factory=dict)
+    #: Outcome of the *cross-table phase*: ``ok``, or the contained
+    #: ``timeout``/``memory``/``error`` when the merge was stopped (the
+    #: per-table entries keep their own statuses either way).
+    status: str = "ok"
+    error: str | None = None
+
+    def table(self, name: str) -> TableProfile:
+        """The entry of one table (raises :class:`KeyError` when absent)."""
+        for entry in self.tables:
+            if entry.name == name:
+                return entry
+        raise KeyError(
+            f"no table {name!r} in catalog {self.name!r}; "
+            f"tables: {[t.name for t in self.tables]}"
+        )
+
+    @property
+    def ok(self) -> bool:
+        """True iff every table and the cross-table phase completed."""
+        return self.status == "ok" and all(t.ok for t in self.tables)
+
+    def summary(self) -> str:
+        """One-line count summary (the schema-level ``ProfilingResult.summary``)."""
+        unique = sum(
+            1
+            for t in self.tables
+            if t.duplicate_of is None and t.fingerprint is not None
+        )
+        return (
+            f"{self.name}: {len(self.tables)} tables ({unique} unique), "
+            f"{len(self.cross_inds)} cross-table INDs, "
+            f"{len(self.fk_candidates)} FK candidates"
+        )
+
+    def __repr__(self) -> str:
+        return f"SchemaCatalog({self.summary()})"
+
+
+def schema_fingerprint(named_fingerprints: list[tuple[str, str]]) -> str:
+    """Content identity of a whole schema: SHA-256 over the sorted
+    ``(table name, relation fingerprint)`` pairs of its loaded tables.
+
+    Keys the schema sweep's journal and the cross-table phase's
+    checkpoint, so a resume only ever restores state produced by an
+    identical set of tables.
+    """
+    digest = hashlib.sha256()
+    for name, fingerprint in sorted(named_fingerprints):
+        digest.update(name.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(fingerprint.encode("utf-8"))
+        digest.update(b"\x01")
+    return digest.hexdigest()

@@ -1,0 +1,151 @@
+"""Foreign-key candidate ranking over cross-table inclusion dependencies.
+
+A valid cross-table IND is *necessary* for a foreign key but nowhere near
+sufficient — small-domain columns (flags, enums, years) are included in
+each other constantly.  Following the classic signals (Rostin et al.,
+"Database Dependency Discovery"-era FK classifiers), each cross-table IND
+is scored on three deterministic components, every one normalized to
+``[0, 1]`` and monotone in the "more FK-like" direction:
+
+``coverage``
+    How much of the referenced column's value domain the dependent column
+    actually uses: ``distinct(dep) / distinct(ref)``.  A genuine FK tends
+    to reference a substantial share of the key column; a coincidental
+    inclusion of a 2-value flag in a 1000-value key covers almost nothing.
+
+``cardinality_ratio``
+    How key-like the referenced column is: ``distinct(ref) /
+    non_null(ref)`` — exactly 1.0 for a unique (candidate-key) column,
+    small for a repetitive one.  FKs point at keys.
+
+``name_similarity``
+    Lexical evidence: the best :class:`difflib.SequenceMatcher` ratio of
+    the dependent column name against the referenced column name, the
+    ``referencedtable_referencedcolumn`` compound, and the referenced
+    table name (all lowercased) — ``customer_id ⊆ customers.id`` scores
+    high on the compound form.
+
+The final score is a fixed-weight sum, so it is monotone in each
+component (pinned by property tests); ties break on the IND's
+lexicographic identity so rankings are bit-stable across processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from difflib import SequenceMatcher
+from typing import Mapping
+
+from .catalog import CrossTableInd
+
+__all__ = [
+    "ColumnFacts",
+    "ForeignKeyCandidate",
+    "SCORE_WEIGHTS",
+    "fk_score",
+    "name_similarity",
+    "rank_fk_candidates",
+]
+
+#: Fixed component weights (sum to 1 so scores stay in ``[0, 1]``).
+#: Key-likeness of the referenced side carries the most signal, coverage
+#: of its domain next, and the lexical hint breaks the remaining ties.
+SCORE_WEIGHTS = {
+    "cardinality_ratio": 0.40,
+    "coverage": 0.35,
+    "name_similarity": 0.25,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnFacts:
+    """Per-column statistics the scorer consumes, computed once per table
+    during the schema sweep's value harvest."""
+
+    #: Distinct non-NULL canonical values.
+    distinct: int
+    #: Non-NULL cells.
+    non_null: int
+
+
+@dataclass(frozen=True, slots=True)
+class ForeignKeyCandidate:
+    """One scored cross-table IND, components preserved for reporting."""
+
+    ind: CrossTableInd
+    coverage: float
+    cardinality_ratio: float
+    name_similarity: float
+    score: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.ind}  score={self.score:.3f} "
+            f"(coverage={self.coverage:.3f}, "
+            f"key={self.cardinality_ratio:.3f}, "
+            f"name={self.name_similarity:.3f})"
+        )
+
+
+def name_similarity(
+    dependent_column: str, referenced_table: str, referenced_column: str
+) -> float:
+    """Best lexical-match ratio of the dependent column name against the
+    referenced column, its ``table_column`` compound, and the table name."""
+    probe = dependent_column.lower()
+    table = referenced_table.lower()
+    column = referenced_column.lower()
+    return max(
+        SequenceMatcher(None, probe, candidate).ratio()
+        for candidate in (column, f"{table}_{column}", table)
+    )
+
+
+def fk_score(
+    coverage: float, cardinality_ratio: float, similarity: float
+) -> float:
+    """Weighted sum of the three components (monotone in each)."""
+    return (
+        SCORE_WEIGHTS["coverage"] * coverage
+        + SCORE_WEIGHTS["cardinality_ratio"] * cardinality_ratio
+        + SCORE_WEIGHTS["name_similarity"] * similarity
+    )
+
+
+def rank_fk_candidates(
+    cross_inds: list[CrossTableInd],
+    facts: Mapping[tuple[str, str], ColumnFacts],
+    limit: int | None = None,
+) -> list[ForeignKeyCandidate]:
+    """Score every cross-table IND and rank best-first.
+
+    ``facts`` maps ``(table, column)`` to that column's
+    :class:`ColumnFacts`.  An IND whose dependent column holds no values
+    (empty or all-NULL — included in everything, evidence of nothing)
+    is skipped.  Ties in score break on the IND's lexicographic identity,
+    so the ranking is deterministic across processes and storage modes.
+    """
+    candidates: list[ForeignKeyCandidate] = []
+    for ind in cross_inds:
+        dependent = facts[(ind.dependent_table, ind.dependent_column)]
+        referenced = facts[(ind.referenced_table, ind.referenced_column)]
+        if dependent.distinct == 0:
+            continue
+        coverage = min(
+            1.0, dependent.distinct / max(1, referenced.distinct)
+        )
+        cardinality_ratio = referenced.distinct / max(1, referenced.non_null)
+        similarity = name_similarity(
+            ind.dependent_column, ind.referenced_table, ind.referenced_column
+        )
+        candidates.append(
+            ForeignKeyCandidate(
+                ind=ind,
+                coverage=coverage,
+                cardinality_ratio=cardinality_ratio,
+                name_similarity=similarity,
+                score=fk_score(coverage, cardinality_ratio, similarity),
+            )
+        )
+    candidates.sort(key=lambda c: (-c.score, c.ind))
+    return candidates[:limit] if limit is not None else candidates

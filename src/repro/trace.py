@@ -606,6 +606,22 @@ DEFAULT_SCHEMA: dict[str, Any] = {
             ],
             "events": [],
         },
+        "schema": {
+            "spans": [
+                "schema.job",
+                "schema.load",
+                "schema.profile",
+                "schema.cross_inds",
+                "schema.rank_fks",
+            ],
+            "counters": [
+                "schema.tables",
+                "schema.dedup_hits",
+                "schema.inds_across",
+                "schema.fk_candidates",
+            ],
+            "events": ["schema.dedup", "schema.load_failed"],
+        },
     },
 }
 

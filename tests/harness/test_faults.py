@@ -14,6 +14,7 @@ from repro.faults import (
     RESULT_CACHE_GET,
     RESULT_CACHE_PUT,
     SAMPLING_HARVEST,
+    SCHEMA_LOAD,
     STORAGE_SPILL,
     FAULTS,
     FaultInjected,
@@ -159,7 +160,8 @@ class TestHarnessContainment:
         # coverage: this class must be extended alongside FAULT_POINTS.
         # The retry-absorbed I/O points (checkpoint + result cache +
         # storage spill, see tests/test_fault_injection.py) are exercised
-        # in tests/harness/test_retry.py and the fault campaign.
+        # in tests/harness/test_retry.py and the fault campaign; the
+        # schema.load point in the dedicated schema campaign there.
         assert set(FAULT_POINTS) == {
             CSV_READ,
             CACHE_PUT,
@@ -169,5 +171,6 @@ class TestHarnessContainment:
             CHECKPOINT_LOAD,
             RESULT_CACHE_GET,
             RESULT_CACHE_PUT,
+            SCHEMA_LOAD,
             STORAGE_SPILL,
         }

@@ -163,3 +163,41 @@ class TestCounterLifecycle:
         store.clear()
         # discard/clear drop indexes but never touch the traffic counters.
         assert store.stats() == {"relations": 0, "builds": 2, "reuses": 0}
+
+
+class TestFingerprintKeying:
+    """Regression: the store keys by content fingerprint, not object
+    identity or name.  The seed keyed by ``id(relation)``, so a schema
+    sweep holding two loads of the same table built its substrate twice
+    and two same-shaped tables could alias after garbage collection."""
+
+    def test_content_identical_objects_share_one_index(self, relation):
+        twin = Relation.from_rows(
+            relation.column_names,
+            list(relation.iter_rows()),
+            name="a_different_cosmetic_name",
+        )
+        assert twin is not relation
+        store = PliStore()
+        assert store.index_for(relation) is store.index_for(twin)
+        assert store.stats() == {"relations": 1, "builds": 1, "reuses": 1}
+
+    def test_same_names_different_content_never_alias(self, relation):
+        shuffled_rows = list(relation.iter_rows())[::-1]
+        other = Relation.from_rows(
+            relation.column_names, shuffled_rows, name=relation.name
+        )
+        store = PliStore()
+        assert store.index_for(relation) is not store.index_for(other)
+        assert store.stats() == {"relations": 2, "builds": 2, "reuses": 0}
+
+    def test_discard_is_by_content(self, relation):
+        twin = Relation.from_rows(
+            relation.column_names, list(relation.iter_rows()), name="twin"
+        )
+        store = PliStore()
+        store.index_for(relation)
+        store.discard(twin)  # same content: evicts the shared entry
+        assert relation not in store
+        store.index_for(relation)
+        assert store.builds == 2

@@ -88,7 +88,7 @@ def test_refutations_save_intersections():
 def _store_of(index: RelationIndex) -> PliStore:
     """A store pre-seeded with one already-built index."""
     store = PliStore()
-    store._indexes[id(index.relation)] = (index.relation, index)
+    store._indexes[index.relation.fingerprint()] = (index.relation, index)
     return store
 
 

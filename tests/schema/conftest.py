@@ -1,0 +1,104 @@
+"""Shared generators and helpers for the schema-sweep suites.
+
+``seeded_schema`` produces small multi-table schemas with planted
+structure: one ``parent`` table with a unique key, child tables whose
+first column draws from the parent's keys (foreign-key shape), small
+shared value domains elsewhere (dense accidental INDs), and occasional
+NULLs.  Tables are written to disk as CSVs — the schema job's only input
+format — and the canonical catalog form
+(:func:`~repro.metadata.serialize.canonical_catalog_dumps`) is the
+comparison key for every differential assertion.
+"""
+
+from __future__ import annotations
+
+import csv
+import random
+from pathlib import Path
+
+from repro.algorithms.values import canonical_value
+from repro.relation.csv_io import read_csv
+
+Schema = dict[str, tuple[list[str], list[list[str]]]]
+
+
+def seeded_schema(seed: int, n_tables: int | None = None) -> Schema:
+    """A random schema: ``{table_name: (header, rows)}``."""
+    rng = random.Random(seed)
+    count = n_tables if n_tables is not None else rng.randint(3, 5)
+    n_parent_rows = rng.randint(4, 14)
+    parent_ids = [str(100 + i) for i in range(n_parent_rows)]
+    tables: Schema = {
+        "parent": (
+            ["id", "region"],
+            [[pid, rng.choice("nsew")] for pid in parent_ids],
+        )
+    }
+    for index in range(1, count):
+        n_columns = rng.randint(2, 4)
+        n_rows = rng.randint(0, 18)
+        header = [f"c{index}_{j}" for j in range(n_columns)]
+        has_fk = rng.random() < 0.7
+        if has_fk:
+            header[0] = "parent_id"
+        rows = []
+        for _ in range(n_rows):
+            row = []
+            for j in range(n_columns):
+                if j == 0 and has_fk:
+                    row.append(rng.choice(parent_ids))
+                elif rng.random() < 0.08:
+                    row.append("")  # NULL
+                else:
+                    row.append(str(rng.randint(0, 5)))
+            rows.append(row)
+        tables[f"table_{index}"] = (header, rows)
+    return tables
+
+
+def write_schema(root: Path, tables: Schema) -> Path:
+    """Write a schema to disk, one CSV per table; returns ``root``."""
+    root.mkdir(parents=True, exist_ok=True)
+    for name, (header, rows) in tables.items():
+        path = root / f"{name}.csv"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(header)
+            writer.writerows(rows)
+    return root
+
+
+def naive_cross_inds(root: Path) -> set[tuple[str, str, str, str]]:
+    """Per-pair oracle for the cross-table IND phase: plain set inclusion
+    over canonicalized non-NULL values, between every ordered pair of
+    columns in *different* unique tables (content-duplicates reduced to
+    their first-named representative, mirroring the job's dedup)."""
+    loaded = {}
+    for path in sorted(root.rglob("*.csv")):
+        name = path.relative_to(root).with_suffix("").as_posix()
+        loaded[name] = read_csv(path, name=name)
+    representatives: dict[str, str] = {}
+    unique = {}
+    for name in sorted(loaded):
+        fingerprint = loaded[name].fingerprint()
+        if fingerprint not in representatives:
+            representatives[fingerprint] = name
+            unique[name] = loaded[name]
+    values = {
+        (name, relation.column_names[i]): {
+            canonical_value(v)
+            for v in relation.column(i)
+            if v is not None
+        }
+        for name, relation in unique.items()
+        for i in range(relation.n_columns)
+    }
+    oracle = set()
+    for (dep_table, dep_column), dep_values in values.items():
+        for (ref_table, ref_column), ref_values in values.items():
+            if dep_table == ref_table:
+                continue
+            if dep_values <= ref_values:
+                oracle.add((dep_table, dep_column, ref_table, ref_column))
+    return oracle

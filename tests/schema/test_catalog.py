@@ -1,0 +1,124 @@
+"""Catalog model + serialization: lossless round trips, canonical-form
+exclusions, and validation of malformed documents."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.metadata.serialize import (
+    CATALOG_FORMAT_VERSION,
+    canonical_catalog_dumps,
+    catalog_dumps,
+    catalog_from_dict,
+    catalog_loads,
+    catalog_signature,
+    catalog_to_dict,
+)
+from repro.schema import profile_schema, schema_fingerprint
+
+from .conftest import seeded_schema, write_schema
+
+
+@pytest.fixture
+def catalog(tmp_path):
+    return profile_schema(
+        write_schema(tmp_path / "schema", seeded_schema(9)), seed=0
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_lossless(self, catalog):
+        document = catalog_to_dict(catalog)
+        assert document["catalog_format_version"] == CATALOG_FORMAT_VERSION
+        revived = catalog_from_dict(document)
+        assert revived.name == catalog.name
+        assert revived.status == catalog.status
+        assert revived.counters == catalog.counters
+        assert revived.cross_inds == catalog.cross_inds
+        assert revived.fk_candidates == catalog.fk_candidates
+        for table in catalog.tables:
+            twin = revived.table(table.name)
+            for field in (
+                "path",
+                "fingerprint",
+                "n_columns",
+                "n_rows",
+                "algorithm",
+                "status",
+                "duplicate_of",
+            ):
+                assert getattr(twin, field) == getattr(table, field)
+            if table.result is None:
+                assert twin.result is None
+            else:
+                assert twin.result.same_metadata(table.result)
+
+    def test_json_round_trip_is_stable(self, catalog):
+        text = catalog_dumps(catalog)
+        revived = catalog_loads(text)
+        assert catalog_dumps(revived) == text
+        # JSON text is genuinely JSON and key-sorted (deterministic).
+        assert json.loads(text) == catalog_to_dict(catalog)
+
+    def test_canonical_form_survives_the_round_trip(self, catalog):
+        revived = catalog_loads(catalog_dumps(catalog))
+        assert canonical_catalog_dumps(revived) == canonical_catalog_dumps(
+            catalog
+        )
+        assert catalog_signature(revived) == catalog_signature(catalog)
+
+
+class TestCanonicalExclusions:
+    def test_wall_clock_and_cache_hits_are_excluded(self, catalog):
+        canon = canonical_catalog_dumps(catalog)
+        for table in catalog.tables:
+            table.seconds += 12.5
+            table.cached = True
+            table.resumed = True
+        assert canonical_catalog_dumps(catalog) == canon
+
+    def test_content_changes_are_not_excluded(self, catalog):
+        canon = canonical_catalog_dumps(catalog)
+        catalog.tables[0].fingerprint = "0" * 64
+        assert canonical_catalog_dumps(catalog) != canon
+
+
+class TestValidation:
+    def test_unknown_version_rejected(self, catalog):
+        document = catalog_to_dict(catalog)
+        document["catalog_format_version"] = CATALOG_FORMAT_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            catalog_from_dict(document)
+
+    def test_cross_ind_with_unknown_table_rejected(self, catalog):
+        document = catalog_to_dict(catalog)
+        document["cross_inds"].append(
+            {
+                "dependent_table": "nonesuch",
+                "dependent_column": "x",
+                "referenced_table": "parent",
+                "referenced_column": "id",
+            }
+        )
+        with pytest.raises(ValueError, match="unknown table"):
+            catalog_from_dict(document)
+
+    def test_unknown_table_lookup_raises(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.table("nonesuch")
+
+
+class TestSchemaFingerprint:
+    def test_order_invariant_and_content_sensitive(self):
+        pairs = [("a", "f1"), ("b", "f2")]
+        assert schema_fingerprint(pairs) == schema_fingerprint(pairs[::-1])
+        assert schema_fingerprint(pairs) != schema_fingerprint(
+            [("a", "f1"), ("b", "f3")]
+        )
+        # Name/fingerprint boundaries cannot be confused by separator
+        # games (the encoding uses distinct field/pair separators).
+        assert schema_fingerprint([("ab", "c")]) != schema_fingerprint(
+            [("a", "bc")]
+        )

@@ -1,0 +1,97 @@
+"""The ISSUE acceptance scenario, end to end through the CLI: a
+12-table seeded schema profiled with ``repro profile-schema --jobs 2``,
+cross-table INDs checked against the naive per-pair oracle, and the
+duplicated table's single profiling pass asserted from the trace."""
+
+from __future__ import annotations
+
+import json
+import shutil
+
+from repro import cli
+from repro.metadata.serialize import catalog_loads
+
+from .conftest import naive_cross_inds, seeded_schema, write_schema
+
+
+def test_twelve_table_schema_through_the_cli(tmp_path, capsys):
+    # 11 unique tables plus one byte-identical duplicate = 12 CSVs.
+    root = write_schema(tmp_path / "schema", seeded_schema(42, n_tables=11))
+    shutil.copy(root / "table_5.csv", root / "table_5_archived.csv")
+    catalog_path = tmp_path / "catalog.json"
+    trace_path = tmp_path / "trace.jsonl"
+
+    code = cli.main(
+        [
+            "profile-schema",
+            str(root),
+            "--jobs",
+            "2",
+            "--json",
+            str(catalog_path),
+            "--trace",
+            str(trace_path),
+        ]
+    )
+    capsys.readouterr()
+    assert code == 0
+
+    catalog = catalog_loads(catalog_path.read_text(encoding="utf-8"))
+    assert catalog.ok
+    assert len(catalog.tables) == 12
+    assert catalog.counters["schema.tables"] == 12
+    assert catalog.counters["schema.unique_tables"] == 11
+
+    # The cross-table IND phase agrees with plain per-pair set inclusion.
+    assert {
+        (
+            ind.dependent_table,
+            ind.dependent_column,
+            ind.referenced_table,
+            ind.referenced_column,
+        )
+        for ind in catalog.cross_inds
+    } == naive_cross_inds(root)
+
+    # Exactly one duplicate entry, carrying no profile of its own; its
+    # representative shares the fingerprint.
+    duplicates = [t for t in catalog.tables if t.duplicate_of is not None]
+    assert len(duplicates) == 1
+    duplicate = duplicates[0]
+    assert duplicate.name == "table_5_archived"
+    assert duplicate.duplicate_of == "table_5"
+    assert duplicate.result is None
+    assert (
+        duplicate.fingerprint == catalog.table("table_5").fingerprint
+    )
+
+    # The trace proves the duplicate was profiled exactly once: the
+    # schema.job end event rolls up one dedup hit over twelve tables,
+    # and exactly one schema.dedup event fired.
+    events = [
+        json.loads(line)
+        for line in trace_path.read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+    job_ends = [
+        e
+        for e in events
+        if e.get("type") == "end" and e.get("name") == "schema.job"
+    ]
+    assert len(job_ends) == 1
+    counters = job_ends[0]["counters"]
+    assert counters["schema.tables"] == 12
+    assert counters["schema.dedup_hits"] == 1
+    dedup_events = [
+        e
+        for e in events
+        if e.get("type") == "event" and e.get("name") == "schema.dedup"
+    ]
+    assert len(dedup_events) == 1
+
+    # The parent's planted key surfaces as the top foreign-key signal
+    # for at least one child (the generator plants parent_id columns).
+    assert any(
+        c.ind.referenced_table == "parent" and c.ind.referenced_column == "id"
+        for c in catalog.fk_candidates
+    )

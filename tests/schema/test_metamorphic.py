@@ -1,0 +1,165 @@
+"""Metamorphic properties of the schema sweep.
+
+Three transforms with known effect on the catalog:
+
+* **Table renaming** (which also permutes the sorted sweep order): the
+  discovered structure is invariant modulo the renaming — cross-table
+  INDs map through the name bijection, per-table metadata is untouched.
+* **Column renaming** in one table: that table's FDs/UCCs are invariant
+  modulo the renaming (compared positionally), and cross INDs map
+  through it.
+* **Duplicate-table injection**: a byte-identical copy under a new name
+  adds exactly one ``duplicate_of`` entry, profiles nothing extra, and
+  leaves the cross-table INDs untouched (duplicates never join the
+  merge).
+"""
+
+from __future__ import annotations
+
+import random
+import shutil
+
+import pytest
+
+from repro.schema import profile_schema
+
+from ..conftest import fds_as_pairs, uccs_as_masks
+from .conftest import seeded_schema, write_schema
+
+SEEDS = range(10)
+
+
+def _cross_tuples(catalog):
+    return {
+        (
+            ind.dependent_table,
+            ind.dependent_column,
+            ind.referenced_table,
+            ind.referenced_column,
+        )
+        for ind in catalog.cross_inds
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_table_renaming_permutes_nothing_but_names(seed, tmp_path):
+    tables = seeded_schema(seed)
+    base = profile_schema(write_schema(tmp_path / "a", tables), seed=0)
+    # Prefix renames chosen to invert the sorted order of the labels.
+    mapping = {
+        name: f"z{len(tables) - i}_{name}"
+        for i, name in enumerate(sorted(tables))
+    }
+    renamed = {mapping[name]: spec for name, spec in tables.items()}
+    moved = profile_schema(write_schema(tmp_path / "b", renamed), seed=0)
+    assert sorted(mapping[t.name] for t in base.tables) == sorted(
+        t.name for t in moved.tables
+    )
+    assert {
+        (mapping[d_t], d_c, mapping[r_t], r_c)
+        for d_t, d_c, r_t, r_c in _cross_tuples(base)
+    } == _cross_tuples(moved)
+    # FK candidates cover the same INDs (scores may shift: the lexical
+    # component reads table names by design).
+    assert {
+        (mapping[c.ind.dependent_table], c.ind.dependent_column,
+         mapping[c.ind.referenced_table], c.ind.referenced_column)
+        for c in base.fk_candidates
+    } == {
+        (c.ind.dependent_table, c.ind.dependent_column,
+         c.ind.referenced_table, c.ind.referenced_column)
+        for c in moved.fk_candidates
+    }
+    # Per-table metadata rides along unchanged (table names are not part
+    # of a table's own profile).
+    for table in base.tables:
+        twin = moved.table(mapping[table.name])
+        assert twin.fingerprint == table.fingerprint
+        assert twin.result.same_metadata(table.result)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_column_renaming_maps_through(seed, tmp_path):
+    tables = seeded_schema(seed)
+    base = profile_schema(write_schema(tmp_path / "a", tables), seed=0)
+    victim = sorted(tables)[seed % len(tables)]
+    header, rows = tables[victim]
+    renamed_header = [f"{column}_renamed" for column in header]
+    tables[victim] = (renamed_header, rows)
+    moved = profile_schema(write_schema(tmp_path / "b", tables), seed=0)
+
+    # Positional FD/UCC structure of the renamed table is unchanged.
+    before = base.table(victim)
+    after = moved.table(victim)
+    relation_before = _as_relation(header, rows, victim)
+    relation_after = _as_relation(renamed_header, rows, victim)
+    assert fds_as_pairs(before.result, relation_before) == fds_as_pairs(
+        after.result, relation_after
+    )
+    assert uccs_as_masks(before.result, relation_before) == uccs_as_masks(
+        after.result, relation_after
+    )
+
+    # Cross INDs map through the column renaming.
+    def rename(table, column):
+        if table == victim and not column.endswith("_renamed"):
+            return f"{column}_renamed"
+        return column
+
+    assert {
+        (d_t, rename(d_t, d_c), r_t, rename(r_t, r_c))
+        for d_t, d_c, r_t, r_c in _cross_tuples(base)
+    } == _cross_tuples(moved)
+
+
+def _as_relation(header, rows, name):
+    from repro.relation.relation import Relation
+
+    decoded = [
+        tuple(None if value == "" else value for value in row) for row in rows
+    ]
+    return Relation.from_rows(header, decoded, name=name)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_duplicate_table_profiles_once(seed, tmp_path):
+    root = write_schema(tmp_path / "a", seeded_schema(seed))
+    base = profile_schema(root, seed=0)
+    rng = random.Random(seed)
+    victim = rng.choice(sorted(p.name for p in root.glob("*.csv")))
+    shutil.copy(root / victim, root / f"copy_of_{victim}")
+    doubled = profile_schema(root, seed=0)
+
+    # The first-sorted name becomes the representative ("copy_of_..."
+    # sorts before "table_...", so the *copy* usually wins); the other
+    # entry carries duplicate_of and no result of its own.
+    original = doubled.table(victim[:-4])
+    copy = doubled.table(f"copy_of_{victim[:-4]}")
+    representative, duplicate = (
+        (original, copy) if copy.duplicate_of else (copy, original)
+    )
+    assert duplicate.duplicate_of == representative.name
+    assert duplicate.result is None and duplicate.status == "ok"
+    assert duplicate.fingerprint == representative.fingerprint
+    assert doubled.counters["schema.dedup_hits"] == 1
+    assert (
+        doubled.counters["schema.unique_tables"]
+        == base.counters["schema.unique_tables"]
+    )
+    # The merge ran over the same unique relations: cross INDs untouched
+    # modulo the victim's name resolving to the representative's.
+    def resolved(table):
+        return representative.name if table == original.name else table
+
+    assert {
+        (resolved(d_t), d_c, resolved(r_t), r_c)
+        for d_t, d_c, r_t, r_c in _cross_tuples(base)
+    } == _cross_tuples(doubled)
+    # Exactly one table gained an entry; every original profile survives
+    # (possibly under the representative's entry).
+    assert len(doubled.tables) == len(base.tables) + 1
+    for table in base.tables:
+        twin = doubled.table(table.name)
+        if twin.duplicate_of is not None:
+            twin = doubled.table(twin.duplicate_of)
+        assert twin.result.same_metadata(table.result)

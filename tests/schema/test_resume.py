@@ -1,0 +1,94 @@
+"""Kill-mid-schema-sweep: a crashed sweep resumes at table granularity
+and converges to the exact catalog (canonical form + counters) of an
+uninterrupted run."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.checkpointing import SimulatedCrash
+from repro.harness import CheckpointStore
+from repro.metadata.serialize import canonical_catalog_dumps
+from repro.schema import SchemaJob, profile_schema
+
+from .conftest import seeded_schema, write_schema
+
+SEEDS = range(6)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_kill_schedule_converges_with_exact_parity(seed, tmp_path):
+    rng = random.Random(4000 + seed)
+    root = write_schema(tmp_path / "schema", seeded_schema(seed, n_tables=4))
+    reference = profile_schema(root, seed=0)
+    assert reference.ok
+
+    crashes = 0
+    catalog = None
+    # merge_stride=1 maximises durable boundaries, so crashes can land
+    # inside the cross-table phase as well as between tables.  Each crash
+    # happens AFTER a durable write: every attempt makes progress and the
+    # loop must terminate.
+    for _ in range(200):
+        store = CheckpointStore(
+            tmp_path / "ckpt",
+            kill_after=rng.randint(1, 4),
+            merge_stride=1,
+        )
+        try:
+            catalog = profile_schema(
+                root, seed=0, checkpoints=store, resume=True
+            )
+            break
+        except SimulatedCrash:
+            crashes += 1
+    assert catalog is not None, "kill schedule never converged"
+    assert crashes > 0, "kill_after<=4 over a 4-table sweep must crash"
+    assert catalog.ok
+    assert canonical_catalog_dumps(catalog) == canonical_catalog_dumps(
+        reference
+    )
+    assert catalog.counters == reference.counters
+
+
+def test_journal_records_completed_tables_across_the_crash(tmp_path):
+    root = write_schema(tmp_path / "schema", seeded_schema(3, n_tables=4))
+    store = CheckpointStore(tmp_path / "ckpt", kill_after=3, merge_stride=1)
+    job = SchemaJob(root=root, seed=0, checkpoints=store)
+    with pytest.raises(SimulatedCrash):
+        job.run()
+    # The sweep journal survives the crash; the restarted job (clean
+    # store, same root) adopts the same journal path and replays it.
+    journal = job.journal_path
+    assert journal is not None and journal.exists()
+    first_lines = journal.read_text(encoding="utf-8").count("\n")
+
+    resumed_job = SchemaJob(
+        root=root, seed=0, checkpoints=CheckpointStore(tmp_path / "ckpt")
+    )
+    catalog = resumed_job.run()
+    assert resumed_job.journal_path == journal
+    assert catalog.ok
+    # Replayed tables were not profiled again: the journal only gained
+    # the entries that were missing at crash time.
+    final_lines = journal.read_text(encoding="utf-8").count("\n")
+    assert final_lines >= first_lines
+    reference = profile_schema(root, seed=0)
+    assert canonical_catalog_dumps(catalog) == canonical_catalog_dumps(
+        reference
+    )
+    assert catalog.counters == reference.counters
+
+
+def test_checkpointed_run_without_crash_matches_plain_run(tmp_path):
+    root = write_schema(tmp_path / "schema", seeded_schema(7))
+    plain = profile_schema(root, seed=0)
+    checkpointed = profile_schema(
+        root, seed=0, checkpoints=CheckpointStore(tmp_path / "ckpt")
+    )
+    assert canonical_catalog_dumps(checkpointed) == canonical_catalog_dumps(
+        plain
+    )
+    assert checkpointed.counters == plain.counters

@@ -21,6 +21,7 @@ from repro.faults import (
     PROFILER_STEP,
     RESULT_CACHE_GET,
     RESULT_CACHE_PUT,
+    SCHEMA_LOAD,
     STORAGE_SPILL,
     FAULTS,
 )
@@ -46,6 +47,10 @@ RETRY_ABSORBED = {
     # default encoded mode the point never trips (fired == 0), and the
     # dedicated mmap campaign below exercises the armed path.
     STORAGE_SPILL,
+    # Schema-sweep table loads only happen inside SchemaJob; a
+    # single-relation sweep never trips the point (fired == 0), and the
+    # dedicated schema campaign below exercises the armed path.
+    SCHEMA_LOAD,
 }
 
 pytestmark = pytest.mark.skipif(
@@ -191,6 +196,63 @@ class TestSeededCampaign:
         recovered = framework.run("hfun", relation)
         assert recovered.status == "ok"
         assert recovered.result.same_metadata(reference)
+
+
+class TestSchemaLoadCampaign:
+    """The ``schema.load`` point: a table that fails to load becomes an
+    error entry in the catalog, never an aborted schema sweep."""
+
+    @pytest.fixture
+    def schema_root(self, tmp_path):
+        rng = random.Random(11)
+        root = tmp_path / "schema"
+        root.mkdir()
+        for name in ("alpha", "beta", "gamma"):
+            lines = ["k,v"]
+            lines += [
+                f"{i},{rng.randrange(4)}" for i in range(12)
+            ]
+            (root / f"{name}.csv").write_text("\n".join(lines) + "\n")
+        return root
+
+    @pytest.mark.parametrize("at", [1, 2, 3])
+    def test_load_fault_contained_per_table(self, schema_root, at):
+        from repro.schema import profile_schema
+
+        reference = profile_schema(schema_root, seed=0)
+        FAULTS.arm(SCHEMA_LOAD, at=at)
+        catalog = profile_schema(schema_root, seed=0)
+        fired = FAULTS.fired(SCHEMA_LOAD)
+        FAULTS.disarm()
+        assert fired == 1
+        failed = [t for t in catalog.tables if t.status != "ok"]
+        assert len(failed) == 1
+        assert "injected fault" in failed[0].error
+        assert failed[0].fingerprint is None and failed[0].result is None
+        # Every other table profiled normally, and the cross phase ran
+        # over the survivors only.
+        for table in catalog.tables:
+            if table is not failed[0]:
+                assert table.status == "ok"
+                assert table.result.same_metadata(
+                    reference.table(table.name).result
+                )
+        survivor_names = {
+            t.name for t in catalog.tables if t.status == "ok"
+        }
+        assert catalog.cross_inds == [
+            ind
+            for ind in reference.cross_inds
+            if ind.dependent_table in survivor_names
+            and ind.referenced_table in survivor_names
+        ]
+        # Disarmed re-run recovers the full reference catalog.
+        from repro.metadata.serialize import canonical_catalog_dumps
+
+        recovered = profile_schema(schema_root, seed=0)
+        assert canonical_catalog_dumps(recovered) == canonical_catalog_dumps(
+            reference
+        )
 
 
 def test_campaign_gate_reflects_environment(monkeypatch):
