@@ -102,4 +102,4 @@ def ducc_on_relation(
     store: PliStore | None = None,
 ) -> DuccResult:
     """DUCC over the shared PLI store (a private store when omitted)."""
-    return ducc((store or PliStore()).index_for(relation), rng=rng)
+    return ducc((store if store is not None else PliStore()).index_for(relation), rng=rng)

@@ -241,4 +241,4 @@ def fun(index: RelationIndex) -> FunResult:
 
 def fun_on_relation(relation: Relation, store: PliStore | None = None) -> FunResult:
     """FUN over the shared PLI store (a private store when omitted)."""
-    return fun((store or PliStore()).index_for(relation))
+    return fun((store if store is not None else PliStore()).index_for(relation))

@@ -103,4 +103,4 @@ def gordian_on_relation(
     relation: Relation, store: PliStore | None = None
 ) -> GordianResult:
     """Gordian over the shared PLI store (a private store when omitted)."""
-    return gordian((store or PliStore()).index_for(relation))
+    return gordian((store if store is not None else PliStore()).index_for(relation))

@@ -88,4 +88,4 @@ def hca(index: RelationIndex) -> HcaResult:
 
 def hca_on_relation(relation: Relation, store: PliStore | None = None) -> HcaResult:
     """HCA over the shared PLI store (a private store when omitted)."""
-    return hca((store or PliStore()).index_for(relation))
+    return hca((store if store is not None else PliStore()).index_for(relation))

@@ -155,7 +155,7 @@ def spider_on_relation(
     relation: Relation, store: PliStore | None = None
 ) -> list[tuple[int, int]]:
     """SPIDER over the shared PLI store (a private store when omitted)."""
-    return spider((store or PliStore()).index_for(relation))
+    return spider((store if store is not None else PliStore()).index_for(relation))
 
 
 def spider_across(

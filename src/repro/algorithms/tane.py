@@ -228,6 +228,6 @@ def tane_on_relation(
 ) -> TaneResult:
     """TANE over the shared PLI store (a private store when omitted)."""
     return tane(
-        (store or PliStore()).index_for(relation),
+        (store if store is not None else PliStore()).index_for(relation),
         include_empty_lhs=include_empty_lhs,
     )

@@ -61,7 +61,16 @@ from .metadata.serialize import dumps, result_from_dict, result_to_dict
 from .relation.csv_io import read_csv
 from .relation.relation import Relation
 
-__all__ = ["main", "build_parser", "build_schema_parser", "schema_main"]
+__all__ = [
+    "main",
+    "build_parser",
+    "build_schema_parser",
+    "schema_main",
+    "build_watch_parser",
+    "watch_main",
+    "build_cache_parser",
+    "cache_main",
+]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -215,6 +224,18 @@ def build_parser() -> argparse.ArgumentParser:
         "otherwise",
     )
     parser.add_argument(
+        "--append",
+        action="append",
+        default=None,
+        metavar="BATCH_CSV",
+        help="after profiling (or cache-hitting) the base input, append "
+        "the rows of BATCH_CSV and incrementally maintain the result "
+        "instead of re-profiling from scratch; repeatable — batches are "
+        "applied in order, and each maintained result is cached under the "
+        "grown relation's fingerprint with a parent_fingerprint link back "
+        "to the pre-append entry (see 'repro cache ls')",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         help="write the result as JSON (use '-' for stdout)",
@@ -282,6 +303,80 @@ def _open_result_cache(args: argparse.Namespace, budget: Budget | None):
         or DEFAULT_CACHE_DIR
     )
     return ResultCache(root)
+
+
+def _apply_appends(
+    args: argparse.Namespace,
+    profiler,
+    relation: Relation,
+    result: ProfilingResult,
+    algorithm: str,
+    cache,
+    cache_config: dict,
+    checkpoint_dir: str | None,
+) -> ProfilingResult:
+    """Fold each ``--append`` batch into the profiled relation in order.
+
+    Every batch advances the fingerprint chain: the maintained result is
+    cached under the grown relation's fingerprint with a
+    ``parent_fingerprint`` link to the pre-append entry, so a later plain
+    run over the combined data answers from cache, and ``repro cache ls``
+    can render the chain.  Checkpoint sessions are keyed per batch by
+    ``(parent fingerprint, "incremental", config + batch fingerprint)`` —
+    a maintenance run killed mid-re-validation resumes exactly.
+    """
+    for batch_path in args.append:
+        batch = read_csv(
+            batch_path, delimiter=args.delimiter, has_header=not args.no_header
+        )
+        if batch.column_names != relation.column_names:
+            raise ValueError(
+                f"append batch {batch_path} columns {batch.column_names} "
+                f"do not match the base schema {relation.column_names}"
+            )
+        parent = relation.fingerprint()
+        session = None
+        if checkpoint_dir:
+            session = CheckpointStore(checkpoint_dir).session(
+                parent,
+                "incremental",
+                {**cache_config, "batch": batch.fingerprint()},
+            )
+            if session.load():
+                print(
+                    f"resuming incremental maintenance of {batch_path} "
+                    f"from checkpoint in {checkpoint_dir}",
+                    file=sys.stderr,
+                )
+        with active_session(session):
+            result = profiler.maintain(
+                relation, list(batch.iter_rows()), result
+            )
+        if session is not None:
+            session.complete()
+        grown = relation.fingerprint()
+        if cache is not None and grown != parent:
+            from .metadata.serialize import result_to_dict as _to_dict
+
+            try:
+                cache.put(
+                    grown,
+                    algorithm,
+                    _to_dict(result),
+                    cache_config,
+                    parent_fingerprint=parent,
+                )
+            except OSError as error:
+                print(
+                    f"warning: result cache write failed: {error}",
+                    file=sys.stderr,
+                )
+        print(
+            f"appended {batch_path} ({batch.n_rows} rows): fingerprint "
+            f"{parent[:12]}... -> {grown[:12]}...",
+            file=sys.stderr,
+        )
+    return result
 
 
 def build_schema_parser() -> argparse.ArgumentParser:
@@ -516,6 +611,204 @@ def schema_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def build_watch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro watch",
+        description=(
+            "Continuous profiling: consume the CSV files of a directory "
+            "in sorted name order as one growing relation — the first "
+            "file is profiled from scratch, every later file is appended "
+            "and the profile is incrementally maintained at delta cost."
+        ),
+    )
+    parser.add_argument(
+        "directory", help="watched directory; every *.csv in it is a batch"
+    )
+    parser.add_argument(
+        "--algorithm",
+        choices=ALGORITHMS,
+        default="auto",
+        help="profiling algorithm for the base profile (default: auto)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random-walk seed")
+    parser.add_argument("--delimiter", default=",", help="CSV field separator")
+    parser.add_argument(
+        "--no-header",
+        action="store_true",
+        help="CSVs have no header row (columns become column_0..n)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="poll interval between directory scans (default: 2.0)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="process the files currently present, then exit instead of "
+        "polling forever",
+    )
+    parser.add_argument(
+        "--max-batches",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N files have been consumed",
+    )
+    sampling_group = parser.add_mutually_exclusive_group()
+    sampling_group.add_argument(
+        "--sampling", dest="sampling", action="store_true", default=True,
+        help="enable the sampling-driven refutation engine (default)",
+    )
+    sampling_group.add_argument(
+        "--no-sampling", dest="sampling", action="store_false",
+        help="disable sample-based refutation (results identical, slower)",
+    )
+    parser.add_argument(
+        "--pli-backend",
+        choices=("python", "numpy"),
+        default=None,
+        help="PLI kernel backend (default: $REPRO_PLI_BACKEND or python)",
+    )
+    parser.add_argument(
+        "--storage",
+        choices=_storage.STORAGE_MODES,
+        default=None,
+        help="column-storage mode (default: $REPRO_STORAGE or encoded)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a structured trace (incremental.* spans/events) as "
+        "JSONL to PATH",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="rewrite PATH with the latest result after every update",
+    )
+    return parser
+
+
+def watch_main(argv: Sequence[str]) -> int:
+    """``repro watch`` entry point; returns a process exit code."""
+    from .incremental import watch_directory
+
+    args = build_watch_parser().parse_args(argv)
+    if args.pli_backend is not None:
+        try:
+            _pli_backend.set_backend(args.pli_backend)
+        except _pli_backend.BackendUnavailable as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    if args.storage is not None:
+        try:
+            _storage.set_storage(args.storage)
+        except _storage.StorageUnavailable as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    trace_path = args.trace or _trace.env_trace_path()
+    tracer = _trace.enable() if args.trace else _trace.ACTIVE
+
+    def on_update(path, relation, result) -> None:
+        print(f"{path.name}: {result.summary()}")
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(dumps(result) + "\n")
+
+    exit_code = 0
+    try:
+        with graceful_shutdown():
+            watch_directory(
+                args.directory,
+                algorithm=args.algorithm,
+                seed=args.seed,
+                sampling=args.sampling,
+                delimiter=args.delimiter,
+                has_header=not args.no_header,
+                interval=args.interval,
+                once=args.once,
+                max_batches=args.max_batches,
+                on_update=on_update,
+            )
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except Interrupted as error:
+        print(f"{error}; stopping cleanly", file=sys.stderr)
+        exit_code = EXIT_INTERRUPTED
+    if tracer is not None and trace_path is not None:
+        try:
+            written = _trace.write_jsonl(tracer.events, trace_path)
+        except OSError as error:
+            print(f"warning: trace write failed: {error}", file=sys.stderr)
+        else:
+            print(
+                f"trace written to {trace_path} ({written} events)",
+                file=sys.stderr,
+            )
+    return exit_code
+
+
+def build_cache_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description=(
+            "Inspect the content-addressed result cache.  'ls' lists "
+            "every entry with its fingerprint chain: incrementally "
+            "maintained results carry a parent_fingerprint link to the "
+            "pre-append entry they were derived from."
+        ),
+    )
+    parser.add_argument("action", choices=("ls",), help="cache operation")
+    parser.add_argument(
+        "--result-cache",
+        metavar="DIR",
+        default=None,
+        help="cache directory (default: $REPRO_RESULT_CACHE_DIR or "
+        f"{DEFAULT_CACHE_DIR})",
+    )
+    return parser
+
+
+def cache_main(argv: Sequence[str]) -> int:
+    """``repro cache`` entry point; returns a process exit code."""
+    args = build_cache_parser().parse_args(argv)
+    root = (
+        args.result_cache
+        or os.environ.get("REPRO_RESULT_CACHE_DIR")
+        or DEFAULT_CACHE_DIR
+    )
+    entries = ResultCache(root).entries()
+    if not entries:
+        print(f"result cache at {root}: no entries")
+        return 0
+    known = {entry["fingerprint"] for entry in entries}
+    print(f"result cache at {root}: {len(entries)} entries")
+    for entry in entries:
+        parent = entry.get("parent_fingerprint")
+        if parent is None:
+            chain = ""
+        elif parent in known:
+            # A resolvable chain link: this entry was maintained from the
+            # listed parent by an incremental append.
+            chain = f"  <- {parent[:12]}..."
+        else:
+            # The parent entry is gone or unreadable — provenance display
+            # degrades, lookups of this entry are unaffected.
+            chain = "  <- (missing)"
+        config = entry.get("config", "")
+        suffix = f"  {config}" if config else ""
+        print(
+            f"  {entry['fingerprint'][:12]}...  "
+            f"{entry['algorithm']}{suffix}{chain}"
+        )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     arguments = list(sys.argv[1:] if argv is None else argv)
@@ -523,6 +816,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         # Dispatched before the single-relation parser: the legacy CLI
         # keeps its subcommand-free grammar (a bare CSV positional).
         return schema_main(arguments[1:])
+    if arguments and arguments[0] == "watch":
+        return watch_main(arguments[1:])
+    if arguments and arguments[0] == "cache":
+        return cache_main(arguments[1:])
     args = build_parser().parse_args(arguments)
     if args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
@@ -624,17 +921,37 @@ def main(argv: Sequence[str] | None = None) -> int:
                     file=sys.stderr,
                 )
 
+    # With --append the base profile must run through an incremental
+    # profiler whose PLI store stays warm: the maintenance phase then
+    # delta-merges into the very substrate the base profile built,
+    # instead of rebuilding it.
+    incremental = None
+    if args.append:
+        from .incremental import IncrementalProfiler
+
+        incremental = IncrementalProfiler(
+            algorithm=algorithm,
+            seed=args.seed,
+            verify_completeness=not args.as_published,
+            jobs=args.jobs,
+            sampling=args.sampling,
+        )
+
     exit_code = 0
     if result is None:
         try:
             with graceful_shutdown(), guarded(budget), active_session(session):
-                result = profile(
-                    relation,
-                    algorithm=algorithm,
-                    seed=args.seed,
-                    verify_completeness=not args.as_published,
-                    jobs=args.jobs,
-                    sampling=args.sampling,
+                result = (
+                    incremental.profile_base(relation)
+                    if incremental is not None
+                    else profile(
+                        relation,
+                        algorithm=algorithm,
+                        seed=args.seed,
+                        verify_completeness=not args.as_published,
+                        jobs=args.jobs,
+                        sampling=args.sampling,
+                    )
                 )
             if session is not None:
                 # Completed: the snapshot has nothing left to resume.
@@ -683,6 +1000,41 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print(
                     "checkpoint kept; re-running the same command resumes "
                     "from the last completed boundary",
+                    file=sys.stderr,
+                )
+            return EXIT_INTERRUPTED
+
+    if incremental is not None and exit_code == 0:
+        try:
+            with graceful_shutdown(), guarded(budget):
+                result = _apply_appends(
+                    args,
+                    incremental,
+                    relation,
+                    result,
+                    algorithm,
+                    cache,
+                    cache_config,
+                    checkpoint_dir,
+                )
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        except BudgetExceeded as error:
+            marker = "ML" if error.reason == "memory" else "TL"
+            print(
+                f"warning [{marker}]: budget exhausted during incremental "
+                f"maintenance ({error}); results below predate the "
+                "unfinished batch",
+                file=sys.stderr,
+            )
+            exit_code = 3
+        except Interrupted as error:
+            print(f"{error}; stopping cleanly", file=sys.stderr)
+            if checkpoint_dir:
+                print(
+                    "checkpoint kept; re-running the same command resumes "
+                    "the unfinished batch from the last completed phase",
                     file=sys.stderr,
                 )
             return EXIT_INTERRUPTED

@@ -71,7 +71,7 @@ class AdaptiveProfiler:
     ):
         self.seed = seed
         self.verify_completeness = verify_completeness
-        self.store = store or PliStore()
+        self.store = store if store is not None else PliStore()
 
     def profile(self, relation: Relation) -> ProfilingResult:
         """Profile with shared input pass, SPIDER, DUCC, then the FD

@@ -141,7 +141,7 @@ class BaselineProfiler:
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.seed = seed
-        self.store = store or PliStore(sampling=sampling)
+        self.store = store if store is not None else PliStore(sampling=sampling)
         self.jobs = jobs
         self.sampling = sampling
         #: Sum of per-task runtimes of the last run (the paper's metric).

@@ -85,7 +85,7 @@ class FdsFirstProfiler:
     derived from the FDs instead of collected during the traversal."""
 
     def __init__(self, store: PliStore | None = None):
-        self.store = store or PliStore()
+        self.store = store if store is not None else PliStore()
 
     def profile(self, relation: Relation) -> ProfilingResult:
         """Profile a relation; UCC derivation assumes duplicate-free rows

@@ -41,7 +41,7 @@ class HolisticFun:
         store: PliStore | None = None,
         sampling: SamplingConfig | bool | None = None,
     ):
-        self.store = store or PliStore(sampling=sampling)
+        self.store = store if store is not None else PliStore(sampling=sampling)
 
     def profile(self, relation: Relation) -> ProfilingResult:
         """Profile a relation: shared read/PLI pass, SPIDER, then FUN with

@@ -107,7 +107,7 @@ class Muds:
         self.verify_completeness = verify_completeness
         self.use_ucc_pruning = use_ucc_pruning
         self.shadowed_passes = shadowed_passes
-        self.store = store or PliStore(sampling=sampling)
+        self.store = store if store is not None else PliStore(sampling=sampling)
 
     # -- public API -----------------------------------------------------------
 

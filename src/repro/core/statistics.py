@@ -60,7 +60,7 @@ def profile_statistics(
     Pass a prebuilt ``index`` (or a shared ``store``) to share PLIs with
     dependency discovery.
     """
-    index = index or (store or PliStore()).index_for(relation)
+    index = index or (store if store is not None else PliStore()).index_for(relation)
     statistics: list[ColumnStatistics] = []
     for position, name in enumerate(relation.column_names):
         values = relation.column(position)

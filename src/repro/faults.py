@@ -37,6 +37,7 @@ __all__ = [
     "RESULT_CACHE_PUT",
     "STORAGE_SPILL",
     "SCHEMA_LOAD",
+    "INCREMENTAL_APPEND",
     "FAULT_POINTS",
     "FaultInjected",
     "FaultRegistry",
@@ -71,6 +72,10 @@ STORAGE_SPILL = "storage.spill"
 #: Fault point hit once per table loaded by a schema sweep
 #: (:meth:`repro.schema.job.SchemaJob.run`'s load phase).
 SCHEMA_LOAD = "schema.load"
+#: Fault point hit once per append batch folded into a shared index
+#: (:meth:`repro.pli.store.PliStore.append_rows`), *before* any state is
+#: mutated — a trip leaves the relation and its PLIs untouched.
+INCREMENTAL_APPEND = "incremental.append"
 
 #: Every fault point compiled into the substrate.
 FAULT_POINTS = (
@@ -84,6 +89,7 @@ FAULT_POINTS = (
     RESULT_CACHE_PUT,
     STORAGE_SPILL,
     SCHEMA_LOAD,
+    INCREMENTAL_APPEND,
 )
 
 

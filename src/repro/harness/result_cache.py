@@ -218,8 +218,16 @@ class ResultCache:
         algorithm: str,
         payload: Mapping[str, Any],
         config: Mapping[str, Any] | str | None = None,
+        parent_fingerprint: str | None = None,
     ) -> None:
         """Atomically store one cell (last concurrent writer wins).
+
+        ``parent_fingerprint`` records provenance for incrementally
+        maintained results: the fingerprint of the relation *before* the
+        append batch whose maintenance produced this payload.  It is
+        annotation only — lookups address cells by their own fingerprint,
+        so a missing or corrupt parent entry can degrade ``cache ls``
+        chain rendering but never a :meth:`get`.
 
         Transient write errors are retried with backoff; a persistent
         failure raises (callers that must not fail on a broken cache —
@@ -233,6 +241,8 @@ class ResultCache:
             "config": config_key(config),
             "payload": dict(payload),
         }
+        if parent_fingerprint is not None:
+            envelope["parent_fingerprint"] = parent_fingerprint
         temporary = path.with_name(f"{path.name}.tmp-{os.getpid()}")
 
         def _write() -> None:
@@ -247,6 +257,43 @@ class ResultCache:
 
         self.retry.call(_write, key=str(path))
         self.puts += 1
+
+    # -- enumeration ---------------------------------------------------------
+
+    def entries(self) -> "list[dict[str, Any]]":
+        """Every readable, well-formed envelope in the cache (sorted by
+        fingerprint, then algorithm, then config key).
+
+        For inspection tooling (``repro cache ls``): unparseable or
+        mis-shaped files are silently skipped — enumeration must degrade
+        on a damaged cache directory exactly like :meth:`get` does, never
+        raise.  The ``quarantine/`` sibling is never descended into.
+        """
+        found: list[dict[str, Any]] = []
+        if not self.root.is_dir():
+            return found
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir() or shard.name == "quarantine":
+                continue
+            for path in sorted(shard.glob("*.json")):
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        envelope = json.load(handle)
+                except (OSError, ValueError):
+                    continue
+                if (
+                    not isinstance(envelope, dict)
+                    or envelope.get("format_version") != CACHE_FORMAT_VERSION
+                    or not isinstance(envelope.get("fingerprint"), str)
+                    or not isinstance(envelope.get("algorithm"), str)
+                    or not isinstance(envelope.get("payload"), dict)
+                ):
+                    continue
+                found.append(envelope)
+        found.sort(
+            key=lambda e: (e["fingerprint"], e["algorithm"], e.get("config", ""))
+        )
+        return found
 
     # -- corruption quarantine ---------------------------------------------
 

@@ -1,0 +1,23 @@
+"""Incremental profiling under appends.
+
+Appending rows to a relation is monotone for two of the three metadata
+classes — an FD or UCC valid afterwards was valid before, so appends can
+only *refute* them — and near-monotone for INDs (value sets only grow, so
+a valid IND breaks only through new dependent values and an invalid one
+heals only through new referenced values).  This package exploits those
+facts end to end: :class:`IncrementalProfiler` takes a prior profile,
+folds an append batch into the shared PLI substrate via delta maintenance
+(:meth:`repro.pli.store.PliStore.append_rows`), refutes prior results
+against only the appended rows plus their collision partners, and
+re-enters the search lattices only above the refuted nodes.  Results are
+exact: a differential suite asserts append-then-maintain is bit-identical
+to profile-from-scratch.
+
+:func:`watch_directory` is the continuous-mode driver: CSV files arriving
+in a directory become successive append batches of one growing relation.
+"""
+
+from .profiler import IncrementalProfiler
+from .watch import watch_directory
+
+__all__ = ["IncrementalProfiler", "watch_directory"]

@@ -143,6 +143,17 @@ class PythonBackend:
         """Native dense-vector representation (the flat list itself)."""
         return vector
 
+    def extend_vector(
+        self, vector: Sequence[int], batch: Sequence[int]
+    ) -> Sequence[int]:
+        """Append batch ids to a dense vector (list extension, in place)."""
+        if isinstance(vector, list):
+            vector.extend(batch)
+            return vector
+        extended = list(vector)
+        extended.extend(batch)
+        return extended
+
     # -- dictionary-encoded column ingest -----------------------------------
 
     def vector_from_codes(self, column: Any) -> Sequence[int]:
@@ -379,6 +390,17 @@ class NumpyBackend:
         """Dense value vectors as ``int64`` arrays, so refinement probes
         gather without a per-call list conversion."""
         return _np.asarray(vector, dtype=_np.int64)
+
+    def extend_vector(
+        self, vector: Sequence[int], batch: Sequence[int]
+    ) -> Sequence[int]:
+        """Append batch ids to a dense vector (array concatenation)."""
+        return _np.concatenate(
+            [
+                _np.asarray(vector),
+                _np.asarray(batch, dtype=_np.asarray(vector).dtype),
+            ]
+        )
 
     # -- dictionary-encoded column ingest -----------------------------------
 

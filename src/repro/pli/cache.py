@@ -66,6 +66,9 @@ class PliCache:
         self.byte_budget = byte_budget
         self._pinned: dict[int, PLI] = {}
         self._entries: OrderedDict[int, PLI] = OrderedDict()
+        #: Size estimate of each resident composite, memoized at insert
+        #: time so accounting never re-walks a resident PLI's clusters.
+        self._sizes: dict[int, int] = {}
         #: Estimated encoded bytes of the resident composite entries.
         self.composite_bytes = 0
         self.hits = 0
@@ -119,14 +122,14 @@ class PliCache:
             return
         if self.capacity == 0:
             return
-        previous = self._entries.get(mask)
-        if previous is None:
-            self.insertions += 1
+        if mask in self._entries:
+            self.composite_bytes -= self._sizes[mask]
         else:
-            self.composite_bytes -= estimated_pli_bytes(previous)
+            self.insertions += 1
         self._entries[mask] = pli
         self._entries.move_to_end(mask)
-        self.composite_bytes += estimated_pli_bytes(pli)
+        self._sizes[mask] = estimated_pli_bytes(pli)
+        self.composite_bytes += self._sizes[mask]
         if self.byte_budget is not None:
             # Byte-budget mode: entry count is irrelevant; evict LRU
             # composites until the resident estimate fits, always keeping
@@ -135,21 +138,69 @@ class PliCache:
                 len(self._entries) > 1
                 and self.composite_bytes > self.byte_budget
             ):
-                _, evicted = self._entries.popitem(last=False)
-                self.composite_bytes -= estimated_pli_bytes(evicted)
+                evicted_mask, _ = self._entries.popitem(last=False)
+                self.composite_bytes -= self._sizes.pop(evicted_mask)
                 self.evictions += 1
                 _trace.count("pli.cache_evictions")
             return
         while len(self._entries) > self.capacity:
-            _, evicted = self._entries.popitem(last=False)
-            self.composite_bytes -= estimated_pli_bytes(evicted)
+            evicted_mask, _ = self._entries.popitem(last=False)
+            self.composite_bytes -= self._sizes.pop(evicted_mask)
             self.evictions += 1
             _trace.count("pli.cache_evictions")
 
     def clear_composites(self) -> None:
         """Drop every non-pinned entry (e.g. between profiling phases)."""
         self._entries.clear()
+        self._sizes.clear()
         self.composite_bytes = 0
+
+    # -- delta maintenance ---------------------------------------------------
+
+    def composite_masks(self) -> tuple[int, ...]:
+        """Masks of the resident composite entries (LRU order)."""
+        return tuple(self._entries)
+
+    def discard(self, mask: int) -> None:
+        """Remove one entry if present (append invalidation; no stats)."""
+        if mask in self._pinned:
+            del self._pinned[mask]
+            return
+        if self._entries.pop(mask, None) is not None:
+            self.composite_bytes -= self._sizes.pop(mask)
+
+    def replace(self, mask: int, pli: PLI) -> None:
+        """Swap an entry for its delta-merged successor, re-accounting bytes.
+
+        Unlike :meth:`put` this neither counts an insertion, moves the
+        entry in LRU order, nor trips the fault point — a delta merge is
+        maintenance of a resident entry, not new traffic.  The byte
+        accounting *is* updated to the post-merge size (eviction decisions
+        must see what is resident now, not what was inserted back then),
+        and the byte-budget eviction loop runs so in-place growth past the
+        budget evicts least-recently-used composites exactly like an
+        insertion would.  Replacing a mask that is no longer resident
+        degrades to :meth:`put`.
+        """
+        if size(mask) <= 1:
+            self._pinned[mask] = pli
+            return
+        if mask not in self._entries:
+            self.put(mask, pli)
+            return
+        self.composite_bytes -= self._sizes[mask]
+        self._entries[mask] = pli  # position in the order is preserved
+        self._sizes[mask] = estimated_pli_bytes(pli)
+        self.composite_bytes += self._sizes[mask]
+        if self.byte_budget is not None:
+            while (
+                len(self._entries) > 1
+                and self.composite_bytes > self.byte_budget
+            ):
+                evicted_mask, _ = self._entries.popitem(last=False)
+                self.composite_bytes -= self._sizes.pop(evicted_mask)
+                self.evictions += 1
+                _trace.count("pli.cache_evictions")
 
     # -- checkpoint round-trip ---------------------------------------------
 
@@ -174,11 +225,13 @@ class PliCache:
     def restore(self, state: dict) -> None:
         """Overwrite composite entries and counters with a snapshot."""
         self._entries.clear()
+        self._sizes.clear()
         self.composite_bytes = 0
         for mask, pli in state["composites"]:
             restored = _ckpt.pli_from_state(pli)
             self._entries[mask] = restored
-            self.composite_bytes += estimated_pli_bytes(restored)
+            self._sizes[mask] = estimated_pli_bytes(restored)
+            self.composite_bytes += self._sizes[mask]
         self.hits = state["hits"]
         self.misses = state["misses"]
         self.insertions = state["insertions"]

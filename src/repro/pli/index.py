@@ -30,6 +30,7 @@ from ..relation.relation import Relation
 from ..sampling import SamplingConfig, ValidationPlanner, resolve_sampling
 from . import backend as _backend
 from .cache import PliCache
+from .delta import AppendDelta, ColumnDelta, merge_column, merge_composite
 from .pli import PLI
 
 __all__ = ["RelationIndex"]
@@ -76,6 +77,15 @@ class RelationIndex:
         self.planner: ValidationPlanner | None = (
             ValidationPlanner(self, config) if config is not None else None
         )
+        #: Per-column occurrence state for delta-PLI maintenance; seeded
+        #: lazily on the first append (one pass over the pre-append rows).
+        self._deltas: list[ColumnDelta | None] | None = None
+        #: Composites perturbed by the latest append, awaiting a lazy
+        #: delta-merge on their next request: mask -> (pre-append PLI,
+        #: jointly perturbed batch rows).  Entries lapse at the next
+        #: append — their old clusters would be two batches stale.
+        self._pending_merges: dict[int, tuple[PLI, tuple[int, ...]]] = {}
+        self._pending_colliders: list[dict[int, tuple[int, ...]]] = []
 
         # Under an encoded storage mode, in-memory relations (generators,
         # tests) gain dictionary encodings here; CSV-read relations already
@@ -167,6 +177,22 @@ class RelationIndex:
         cached = self.cache.get(mask)
         if cached is not None:
             return cached
+        pending = self._pending_merges.pop(mask, None)
+        if pending is not None:
+            old_pli, joint_rows = pending
+            merged = merge_composite(
+                old_pli,
+                list(iter_bits(mask)),
+                self._vectors,
+                joint_rows,
+                self._pending_colliders,
+                self.n_rows,
+            )
+            if merged is not None:
+                self.cache.put(mask, merged)
+                return merged
+            # The old-singleton scan would have approached a full pass:
+            # fall through to the chained-intersection rebuild.
         low = lowest_bit(mask)
         rest = mask & ~bit(low)
         pli = self.pli(rest).intersect(self.column_pli(low))
@@ -260,6 +286,145 @@ class RelationIndex:
             if pli.refines(self._vectors[rhs]):
                 valid |= bit(rhs)
         return valid
+
+    # -- delta maintenance -----------------------------------------------------
+
+    def apply_append(self, old_n_rows: int) -> AppendDelta:
+        """Fold an already-appended row batch into the PLI substrate.
+
+        The relation must have been grown first (``Relation.append_rows``);
+        this maintains everything derived from it without rebuilding from
+        row 0: single-column PLIs are delta-merged (work proportional to
+        the batch), dense vectors are extended (or re-viewed over the
+        grown code buffers), distinct-value lists grow by the batch's new
+        values, and composite cache entries are kept — re-wrapped for the
+        new row count — unless the batch can actually have created an
+        agreeing pair on their column set, in which case they are
+        deferred for a lazy delta-merge from their old clusters on the
+        next request (falling back to exact recomputation only when the
+        merge's old-singleton scan would approach a full pass).  The
+        sampling planner's
+        harvested evidence is dropped so later refutation samples see the
+        appended rows.
+
+        Returns the :class:`~repro.pli.delta.AppendDelta` describing the
+        perturbation (collision partners, per-column perturbed rows, new
+        values) that incremental re-validation consumes.
+        """
+        relation = self.relation
+        new_n_rows = relation.n_rows
+        batch_length = new_n_rows - old_n_rows
+        delta = AppendDelta(old_n_rows, new_n_rows)
+        if batch_length <= 0:
+            return delta
+        kernel_backend = _backend.ACTIVE
+        if self._deltas is None:
+            self._deltas = [None] * self.n_columns
+        # Pending merges from the previous batch lapse: their snapshots
+        # no longer describe the pre-append state of this batch.
+        self._pending_merges.clear()
+        partners: set[int] = set()
+        colliders: list[dict[int, tuple[int, ...]]] = []
+        for column_index in range(self.n_columns):
+            encoding = relation.encoding(column_index)
+            state = self._deltas[column_index]
+            known_distinct = len(self._distinct_values[column_index])
+            if encoding is not None:
+                if state is None:
+                    state = ColumnDelta.from_codes(
+                        encoding.codes[:old_n_rows], len(encoding.dictionary)
+                    )
+                    self._deltas[column_index] = state
+                batch_codes = list(encoding.codes[old_n_rows:])
+                new_values = list(encoding.dictionary[known_distinct:])
+            else:
+                column = relation.column(column_index)
+                if state is None:
+                    state = ColumnDelta.from_values(column[:old_n_rows])
+                    self._deltas[column_index] = state
+                batch_values = column[old_n_rows:]
+                batch_codes = state.encode_batch(batch_values)
+                # Codes are assigned sequentially, so the batch's first
+                # occurrence of each new value is where the next fresh id
+                # appears.
+                new_values = []
+                next_new = known_distinct
+                for value, code in zip(batch_values, batch_codes):
+                    if code == next_new:
+                        new_values.append(value)
+                        next_new += 1
+            self._distinct_values[column_index].extend(new_values)
+            delta.new_values.append(new_values)
+
+            merged, perturbed, column_partners, column_colliders = (
+                merge_column(
+                    self.cache.peek(bit(column_index)),
+                    state,
+                    batch_codes,
+                    old_n_rows,
+                    new_n_rows,
+                )
+            )
+            self.cache.replace(bit(column_index), merged)
+            delta.perturbed.append(perturbed)
+            partners.update(column_partners)
+            colliders.append(column_colliders)
+
+            vector = self._vectors[column_index]
+            if isinstance(vector, list):
+                vector.extend(batch_codes)
+            elif encoding is not None:
+                # Backend-native views over the (grown) code buffer: a
+                # fresh zero-copy view replaces the stale one.
+                self._vectors[column_index] = kernel_backend.vector_from_codes(
+                    encoding
+                )
+            else:
+                self._vectors[column_index] = kernel_backend.extend_vector(
+                    vector, batch_codes
+                )
+
+        # Composite entries: keep (re-wrapped for the new row count) every
+        # mask the batch provably cannot have perturbed — a new agreeing
+        # pair on the mask requires some batch row to be pairable on
+        # *every* member column.  Perturbed masks leave the cache but are
+        # deferred with their old clusters: the next request delta-merges
+        # them instead of re-intersecting from row 0, and masks nobody
+        # asks about again cost nothing at all.
+        for mask in self.cache.composite_masks():
+            joint: set[int] | None = None
+            untouched = False
+            for column_bit in iter_bits(mask):
+                pairable = delta.perturbed[column_bit]
+                if not pairable:
+                    untouched = True
+                    break
+                joint = (
+                    set(pairable) if joint is None else joint & pairable
+                )
+                if not joint:
+                    untouched = True
+                    break
+            if untouched:
+                kept = self.cache.peek(mask)
+                self.cache.replace(
+                    mask, PLI._from_canonical(kept.clusters, new_n_rows)
+                )
+                delta.kept_composites += 1
+            else:
+                snapshot = self.cache.peek(mask)
+                self.cache.discard(mask)
+                self._pending_merges[mask] = (
+                    snapshot, tuple(sorted(joint))
+                )
+                delta.deferred_composites += 1
+        self._pending_colliders = colliders
+
+        self.n_rows = new_n_rows
+        delta.partner_rows = tuple(sorted(partners))
+        if self.planner is not None:
+            self.planner.reset_evidence()
+        return delta
 
     # -- checkpoint round-trip -------------------------------------------------
 

@@ -77,6 +77,8 @@ class KernelStats:
         "probe_reuses",
         "refine_calls",
         "refine_cluster_scans",
+        "delta_merges",
+        "delta_reclustered_rows",
     )
 
     def __init__(self) -> None:
@@ -85,6 +87,8 @@ class KernelStats:
         self.probe_reuses = 0
         self.refine_calls = 0
         self.refine_cluster_scans = 0
+        self.delta_merges = 0
+        self.delta_reclustered_rows = 0
 
     def reset(self) -> None:
         """Zero all counters (tests and benchmark isolation)."""
@@ -93,6 +97,8 @@ class KernelStats:
         self.probe_reuses = 0
         self.refine_calls = 0
         self.refine_cluster_scans = 0
+        self.delta_merges = 0
+        self.delta_reclustered_rows = 0
 
     def snapshot(self) -> dict[str, int | str]:
         """Current counter values as a plain dict.
@@ -106,6 +112,8 @@ class KernelStats:
             "probe_reuses": self.probe_reuses,
             "refine_calls": self.refine_calls,
             "refine_cluster_scans": self.refine_cluster_scans,
+            "delta_merges": self.delta_merges,
+            "delta_reclustered_rows": self.delta_reclustered_rows,
             "pli_backend": _backend.ACTIVE.name,
         }
 

@@ -18,11 +18,16 @@ interactive session — not process-global.  :meth:`discard` and
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
+from typing import Any
+
 from .. import trace as _trace
+from ..faults import FAULTS, INCREMENTAL_APPEND
 from ..relation import encoded as _encoded
 from ..relation.relation import Relation
 from ..sampling import SamplingConfig
 from . import backend as _backend
+from .delta import AppendDelta
 from .index import RelationIndex
 
 __all__ = ["PliStore"]
@@ -118,6 +123,44 @@ class PliStore:
         if tracer is not None:
             tracer.gauge("pli.store.relations", len(self._indexes))
         return index
+
+    def append_rows(
+        self, relation: Relation, rows: Iterable[Sequence[Any]]
+    ) -> tuple[RelationIndex, AppendDelta | None]:
+        """Append ``rows`` to ``relation`` and delta-maintain its index.
+
+        The store is the right owner of this operation because it is the
+        keyer: appending changes the relation's content fingerprint, so
+        the index must be re-registered under the new key or every later
+        :meth:`index_for` call would rebuild from scratch and the warm
+        substrate would be orphaned under a stale key.
+
+        Returns ``(index, delta)``; ``delta`` is ``None`` for an empty
+        batch (nothing changed, fingerprint included).  The fault point
+        :data:`~repro.faults.INCREMENTAL_APPEND` trips *before* any
+        mutation, so an injected failure leaves the old state intact.
+        """
+        index = self.index_for(relation)
+        old_fingerprint = relation.fingerprint()
+        old_n = relation.n_rows
+        with _trace.span(
+            "incremental.append",
+            relation=relation.name,
+            rows_before=old_n,
+        ) as span:
+            if FAULTS.armed:
+                FAULTS.trip(INCREMENTAL_APPEND)
+            appended = relation.append_rows(rows)
+            span.set(rows_appended=appended)
+            if appended == 0:
+                return index, None
+            delta = index.apply_append(old_n)
+        del self._indexes[old_fingerprint]
+        self._indexes[relation.fingerprint()] = (relation, index)
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.count("incremental.appended_rows", appended)
+        return index, delta
 
     def stats(self) -> dict[str, int]:
         """Substrate-sharing counters: indexed relations, builds, and

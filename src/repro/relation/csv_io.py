@@ -148,6 +148,9 @@ def read_csv(
     relation._fingerprint = _combine_column_digests(
         width, n_rows, (hasher.digest() for hasher in hashers)
     )
+    # Donate the streaming hashers: append_rows advances them in O(batch)
+    # instead of re-hashing the relation from row 0.
+    relation._hashers = hashers
     return relation
 
 

@@ -222,6 +222,7 @@ class EncodedColumn:
         "_mmap",
         "_hash",
         "_finalizer",
+        "_positions",
         "__weakref__",
     )
 
@@ -239,6 +240,7 @@ class EncodedColumn:
         self.spill_path = spill_path
         self._mmap = mapped
         self._hash: int | None = None
+        self._positions: dict[Any, int] | None = None
         # Spill-file lifecycle: the file exists exactly as long as some
         # column reads it; collection closes the map and unlinks.
         if spill_path is not None:
@@ -276,6 +278,88 @@ class EncodedColumn:
         if self.storage == "mmap":
             return self.codes
         return self.codes.tolist()
+
+    # -- appends -----------------------------------------------------------
+
+    def append_values(self, values: Sequence[Any]) -> list[int]:
+        """Append a batch of values in place; returns their codes.
+
+        The dictionary grows with first-seen new values (so codes stay
+        the dense first-seen ids the kernel relies on) and the code array
+        is extended in place.  ``mmap`` columns append to their spill
+        file and re-map it.  Previously exported buffer views keep seeing
+        the pre-append codes; callers holding derived vectors refresh
+        them through the PLI layer's append path.
+        """
+        positions = self._positions
+        if positions is None:
+            positions = {
+                value: code for code, value in enumerate(self.dictionary)
+            }
+            self._positions = positions
+        dictionary = self.dictionary
+        codes: list[int] = []
+        for value in values:
+            code = positions.get(value)
+            if code is None:
+                code = len(positions)
+                positions[value] = code
+                dictionary.append(value)
+            codes.append(code)
+        if not codes:
+            return codes
+        batch = array("i", codes)
+        if self.storage == "mmap":
+            self._append_spill(batch)
+        else:
+            try:
+                self.codes.extend(batch)
+            except BufferError:
+                # A numpy view (np.frombuffer) pins the old buffer; swap
+                # in a fresh extended array — the old one stays alive for
+                # exactly as long as those views do.
+                fresh = array("i", self.codes)
+                fresh.extend(batch)
+                self.codes = fresh
+        self._hash = None
+        return codes
+
+    def _append_spill(self, batch: "array") -> None:
+        """Append a code batch to the spill file and re-map it."""
+        payload = batch.tobytes()
+
+        def write() -> None:
+            if FAULTS.armed:
+                FAULTS.trip(STORAGE_SPILL)
+            with open(self.spill_path, "ab") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+
+        from ..harness.retry import RetryPolicy
+
+        RetryPolicy().call(write, key=f"storage.spill:{self.spill_path}")
+        _trace.count("storage.spilled_bytes", len(payload))
+        # Re-map the grown file under the same path.  The old finalizer is
+        # detached first so it cannot unlink the file we keep using; the
+        # new one owns the (map, path) pair from here on.  Closing the old
+        # map fails with BufferError while old memoryviews are alive — it
+        # is then closed by its own deallocation once they go away.
+        if self._finalizer is not None:
+            self._finalizer.detach()
+        old_map = self._mmap
+        with open(self.spill_path, "rb") as handle:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        self.codes = memoryview(mapped).cast("i")
+        self._mmap = mapped
+        self._finalizer = weakref.finalize(
+            self, _release_spill, mapped, self.spill_path
+        )
+        if old_map is not None:
+            try:
+                old_map.close()
+            except (BufferError, ValueError):
+                pass
 
     # -- decoded tuple-like face -------------------------------------------
 

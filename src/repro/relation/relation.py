@@ -112,6 +112,8 @@ class Relation:
         "_positions",
         "_fingerprint",
         "_encodings",
+        "_hashers",
+        "_parent_fingerprint",
     )
 
     def __init__(
@@ -143,6 +145,12 @@ class Relation:
         self._positions = {n: i for i, n in enumerate(names)}
         self._fingerprint: str | None = None
         self._encodings: tuple[EncodedColumn | None, ...] | None = None
+        # Live per-column fingerprint hashers (v2 is a running digest per
+        # column, so appends can advance it instead of re-hashing from row
+        # 0).  ``read_csv`` hands over its streaming hashers; in-memory
+        # relations rebuild them lazily on the first append.
+        self._hashers: list["hashlib._Hash"] | None = None
+        self._parent_fingerprint: str | None = None
 
     # -- constructors ------------------------------------------------------
 
@@ -255,7 +263,7 @@ class Relation:
         """
         if self._fingerprint is not None:
             return self._fingerprint
-        digests = []
+        hashers = []
         for index, (name, column) in enumerate(zip(self._names, self._columns)):
             digest = _column_hasher(name)
             encoding = self.encoding(index)
@@ -269,11 +277,108 @@ class Relation:
             else:
                 for value in column:
                     digest.update(_value_token(value))
-            digests.append(digest.digest())
+            hashers.append(digest)
+        # Keep the streamed hashers: digest() does not consume them, and a
+        # later append_rows advances them at O(batch) instead of paying a
+        # full re-stream in _ensure_hashers.
+        if self._hashers is None:
+            self._hashers = hashers
         self._fingerprint = _combine_column_digests(
-            len(self._names), self._n_rows, digests
+            len(self._names),
+            self._n_rows,
+            (digest.digest() for digest in hashers),
         )
         return self._fingerprint
+
+    @property
+    def parent_fingerprint(self) -> str | None:
+        """Fingerprint of the relation before its most recent append.
+
+        ``None`` for relations that were never appended to.  Together with
+        :meth:`fingerprint` this forms the verifiable chain
+        ``fingerprint(old) ⊕ batch → fingerprint(new)`` that the result
+        cache records as entry lineage.
+        """
+        return self._parent_fingerprint
+
+    # -- appends -----------------------------------------------------------
+
+    def _ensure_hashers(self) -> list["hashlib._Hash"]:
+        """Per-column running digests matching the bytes hashed so far.
+
+        Rebuilding costs one pass over the data; relations built by
+        ``read_csv`` never pay it because the reader donates its streaming
+        hashers.
+        """
+        hashers = self._hashers
+        if hashers is not None:
+            return hashers
+        hashers = []
+        for index, (name, column) in enumerate(zip(self._names, self._columns)):
+            digest = _column_hasher(name)
+            encoding = self.encoding(index)
+            if encoding is not None:
+                tokens = [_value_token(value) for value in encoding.dictionary]
+                for code in encoding.codes:
+                    digest.update(tokens[code])
+            else:
+                for value in column:
+                    digest.update(_value_token(value))
+            hashers.append(digest)
+        self._hashers = hashers
+        return hashers
+
+    def append_rows(self, rows: Iterable[Sequence[Value]]) -> int:
+        """Append a batch of rows in place; returns the number appended.
+
+        Works on both storage substrates: object-tuple columns are
+        extended by concatenation, dictionary-encoded columns grow their
+        code arrays (and dictionaries) in place — including the mmap
+        spill files of out-of-core columns.  The cached v2 fingerprint is
+        *advanced* by streaming only the batch's value tokens through the
+        retained per-column hashers, so appending is O(batch), and the
+        resulting fingerprint is byte-identical to hashing the combined
+        relation from scratch.  The pre-append fingerprint is kept as
+        :attr:`parent_fingerprint`.
+
+        This is the one sanctioned mutation of a relation: any previously
+        taken ``hash()``, row count, or derived index refers to the
+        pre-append content (the PLI layer maintains its structures through
+        :meth:`repro.pli.store.PliStore.append_rows`).
+        """
+        materialized = [tuple(row) for row in rows]
+        width = len(self._names)
+        for i, row in enumerate(materialized):
+            if len(row) != width:
+                raise SchemaError(
+                    f"appended row {i} has {len(row)} values, expected {width}"
+                )
+        if not materialized:
+            return 0
+        parent = self.fingerprint()
+        hashers = self._ensure_hashers()
+        batch_columns = list(zip(*materialized))
+        columns = list(self._columns)
+        for index, batch in enumerate(batch_columns):
+            digest = hashers[index]
+            for value in batch:
+                digest.update(_value_token(value))
+            column = columns[index]
+            if isinstance(column, EncodedColumn):
+                column.append_values(batch)
+            else:
+                columns[index] = column + batch
+                if self._encodings is not None:
+                    sidecar = self._encodings[index]
+                    if sidecar is not None:
+                        sidecar.append_values(batch)
+        self._columns = tuple(columns)
+        self._n_rows += len(materialized)
+        self._parent_fingerprint = parent
+        self._fingerprint = _combine_column_digests(
+            width, self._n_rows, (digest.digest() for digest in hashers)
+        )
+        return len(materialized)
 
     # -- transformations ---------------------------------------------------
 
@@ -339,6 +444,17 @@ class Relation:
         return False
 
     # -- dunder ------------------------------------------------------------
+
+    def __getstate__(self):
+        # Live hash objects cannot be pickled (worker processes receive
+        # relations); drop them — the receiver rebuilds lazily on append.
+        state = {slot: getattr(self, slot) for slot in Relation.__slots__}
+        state["_hashers"] = None
+        return state
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, Relation):

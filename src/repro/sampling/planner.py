@@ -200,6 +200,19 @@ class ValidationPlanner:
         self._refutation = refutation
         return refutation
 
+    def reset_evidence(self) -> None:
+        """Drop the harvested sample (the relation's rows changed).
+
+        Called by the index after an append batch is folded in: the old
+        sample's vectors describe the pre-append rows, so the next stage-1
+        query re-harvests over the grown relation.  Query counters are
+        kept — they account work actually done.  A deadline bypass is also
+        cleared; the post-append run re-evaluates its own deadline.
+        """
+        self._refutation = None
+        self._attempted = False
+        self.bypassed = False
+
     # -- stage 1 queries ---------------------------------------------------
 
     def refutes_fd(self, lhs_mask: int, rhs_index: int) -> bool:

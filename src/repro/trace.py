@@ -555,8 +555,29 @@ DEFAULT_SCHEMA: dict[str, Any] = {
                 "pli.probe_builds",
                 "pli.probe_reuses",
                 "pli.store_reuses",
+                "pli.delta_merges",
+                "pli.delta_reclustered_rows",
             ],
             "events": [],
+        },
+        "incremental": {
+            "spans": [
+                "incremental.append",
+                "incremental.maintain",
+                "incremental.revalidate_uccs",
+                "incremental.revalidate_fds",
+                "incremental.revalidate_inds",
+            ],
+            "counters": [
+                "incremental.appended_rows",
+                "incremental.partner_rows",
+                "incremental.refuted_uccs",
+                "incremental.refuted_fds",
+                "incremental.ind_rechecks",
+                "incremental.composites_kept",
+                "incremental.composites_deferred",
+            ],
+            "events": ["incremental.watch_update"],
         },
         "sampling": {
             "spans": ["sampling.harvest", "sampling.ind_prefilter"],

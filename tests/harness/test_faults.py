@@ -10,6 +10,7 @@ from repro.faults import (
     CHECKPOINT_SAVE,
     CSV_READ,
     FAULT_POINTS,
+    INCREMENTAL_APPEND,
     PROFILER_STEP,
     RESULT_CACHE_GET,
     RESULT_CACHE_PUT,
@@ -161,7 +162,9 @@ class TestHarnessContainment:
         # The retry-absorbed I/O points (checkpoint + result cache +
         # storage spill, see tests/test_fault_injection.py) are exercised
         # in tests/harness/test_retry.py and the fault campaign; the
-        # schema.load point in the dedicated schema campaign there.
+        # schema.load point in the dedicated schema campaign there; the
+        # incremental.append point in the incremental-append campaign and
+        # tests/incremental/test_fault_containment.py.
         assert set(FAULT_POINTS) == {
             CSV_READ,
             CACHE_PUT,
@@ -173,4 +176,5 @@ class TestHarnessContainment:
             RESULT_CACHE_PUT,
             SCHEMA_LOAD,
             STORAGE_SPILL,
+            INCREMENTAL_APPEND,
         }

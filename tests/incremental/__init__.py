@@ -1,0 +1,2 @@
+"""Incremental profiling under appends: fingerprint chains, delta-PLI
+maintenance, refutation-driven re-validation, and the CLI surface."""

@@ -1,0 +1,104 @@
+"""Kill-mid-append differential matrix: a crash at *every* checkpoint
+boundary of ``IncrementalProfiler.maintain`` must leave state a resumed
+process repairs to bit-identical results — old profile or new profile,
+never a torn one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkpointing import SimulatedCrash, active_session
+from repro.harness.checkpoint import CheckpointStore
+from repro.incremental import IncrementalProfiler
+from repro.relation import Relation
+
+NAMES = ["A", "B", "C"]
+BASE = [
+    (1, "a", "q"),
+    (2, "b", "r"),
+    (3, "c", "s"),
+    (4, "a", "t"),
+]
+BATCH = [
+    (5, "a", "q"),
+    (6, "d", "r"),
+]
+CONFIG = {"seed": 0, "batch": "0001"}
+
+#: maintain() saves one boundary per phase: append, UCCs, FDs, INDs.
+N_BOUNDARIES = 4
+
+
+def _base_and_prior():
+    relation = Relation.from_rows(NAMES, BASE, name="killable")
+    profiler = IncrementalProfiler(algorithm="muds", seed=0)
+    prior = profiler.profile_base(relation)
+    return relation, profiler, prior
+
+
+def _undisturbed():
+    relation, profiler, prior = _base_and_prior()
+    return profiler.maintain(relation, BATCH, prior)
+
+
+@pytest.mark.parametrize("kill_after", range(1, N_BOUNDARIES + 1))
+def test_kill_at_every_boundary_resumes_identically(kill_after, tmp_path):
+    expected = _undisturbed()
+
+    # Attempt 1: killed right after the kill_after-th boundary write.
+    relation, profiler, prior = _base_and_prior()
+    store = CheckpointStore(tmp_path / "ckpt", kill_after=kill_after)
+    session = store.session(relation.fingerprint(), "incremental", CONFIG)
+    session.load()
+    with pytest.raises(SimulatedCrash):
+        with active_session(session):
+            profiler.maintain(relation, BATCH, prior)
+    assert session.boundaries == kill_after
+
+    # Attempt 2: a fresh process — new relation object, new store, new
+    # profiler — resumes from the file and finishes.
+    relation, profiler, prior = _base_and_prior()
+    resumed = CheckpointStore(tmp_path / "ckpt").session(
+        relation.fingerprint(), "incremental", CONFIG
+    )
+    assert resumed.load()
+    with active_session(resumed):
+        result = profiler.maintain(relation, BATCH, prior)
+    assert result.same_metadata(expected)
+    assert relation.n_rows == len(BASE) + len(BATCH)
+
+
+def test_completed_session_removes_the_file(tmp_path):
+    relation, profiler, prior = _base_and_prior()
+    store = CheckpointStore(tmp_path / "ckpt")
+    session = store.session(relation.fingerprint(), "incremental", CONFIG)
+    session.load()
+    with active_session(session):
+        result = profiler.maintain(relation, BATCH, prior)
+    session.complete()
+    assert not session.path.exists()
+    assert result.same_metadata(_undisturbed())
+
+
+def test_resume_skips_finished_phases(tmp_path):
+    # Kill after the FD boundary (3), then resume with a session whose
+    # envelope says done=3: only INDs re-validate, and the restored
+    # UCC/FD lists flow through to the final result unchanged.
+    relation, profiler, prior = _base_and_prior()
+    store = CheckpointStore(tmp_path / "ckpt", kill_after=3)
+    session = store.session(relation.fingerprint(), "incremental", CONFIG)
+    session.load()
+    with pytest.raises(SimulatedCrash):
+        with active_session(session):
+            profiler.maintain(relation, BATCH, prior)
+
+    relation, profiler, prior = _base_and_prior()
+    resumed = CheckpointStore(tmp_path / "ckpt").session(
+        relation.fingerprint(), "incremental", CONFIG
+    )
+    assert resumed.load()
+    assert resumed.resume("incremental")["done"] == 3
+    with active_session(resumed):
+        result = profiler.maintain(relation, BATCH, prior)
+    assert result.same_metadata(_undisturbed())

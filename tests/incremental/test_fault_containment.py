@@ -1,0 +1,67 @@
+"""Containment of the ``incremental.append`` fault point.
+
+The point trips *before* any state is mutated, so an injected fault must
+leave the relation, its fingerprint, the PLI substrate, and the prior
+profile all intact — the caller retries the whole batch and gets exact
+results, never a half-appended relation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FAULTS, INCREMENTAL_APPEND, FaultInjected
+from repro.incremental import IncrementalProfiler
+from repro.relation import Relation
+
+NAMES = ["A", "B"]
+BASE = [(1, "x"), (2, "y"), (3, "x")]
+BATCH = [(4, "y"), (5, "z")]
+
+
+@pytest.fixture(autouse=True)
+def _disarm_after_each_test():
+    yield
+    FAULTS.disarm()
+
+
+def test_fault_during_maintain_leaves_prior_usable():
+    relation = Relation.from_rows(NAMES, BASE, name="contained")
+    profiler = IncrementalProfiler(algorithm="muds", seed=0)
+    prior = profiler.profile_base(relation)
+    fingerprint = relation.fingerprint()
+
+    FAULTS.arm(INCREMENTAL_APPEND, at=1)
+    with pytest.raises(FaultInjected, match="incremental.append"):
+        profiler.maintain(relation, BATCH, prior)
+    FAULTS.disarm()
+
+    # Nothing moved: the old state is fully recoverable.
+    assert relation.n_rows == len(BASE)
+    assert relation.fingerprint() == fingerprint
+
+    # The retry succeeds and is still exact.
+    result = profiler.maintain(relation, BATCH, prior)
+    whole = Relation.from_rows(NAMES, BASE + BATCH, name="contained")
+    fresh = IncrementalProfiler(algorithm="muds", seed=0).profile_base(whole)
+    assert result.same_metadata(fresh)
+
+
+def test_fault_on_second_batch_only_hits_that_batch():
+    relation = Relation.from_rows(NAMES, BASE, name="contained")
+    profiler = IncrementalProfiler(algorithm="muds", seed=0)
+    result = profiler.profile_base(relation)
+    FAULTS.arm(INCREMENTAL_APPEND, at=2)
+    result = profiler.maintain(relation, BATCH[:1], result)
+    grown_fingerprint = relation.fingerprint()
+    with pytest.raises(FaultInjected):
+        profiler.maintain(relation, BATCH[1:], result)
+    FAULTS.disarm()
+    # The first batch's append survives; only the second was refused.
+    assert relation.n_rows == len(BASE) + 1
+    assert relation.fingerprint() == grown_fingerprint
+    final = profiler.maintain(relation, BATCH[1:], result)
+    whole = Relation.from_rows(NAMES, BASE + BATCH, name="contained")
+    assert final.same_metadata(
+        IncrementalProfiler(algorithm="muds", seed=0).profile_base(whole)
+    )

@@ -291,6 +291,8 @@ def test_kernel_stats_delta_brackets_a_run():
         "probe_reuses": 0,
         "refine_calls": 0,
         "refine_cluster_scans": 0,
+        "delta_merges": 0,
+        "delta_reclustered_rows": 0,
         "pli_backend": _backend.ACTIVE.name,
     }
     # Missing keys in the snapshot count from zero (forward-compatible

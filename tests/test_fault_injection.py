@@ -18,6 +18,7 @@ from repro.faults import (
     CHECKPOINT_SAVE,
     CSV_READ,
     FAULT_POINTS,
+    INCREMENTAL_APPEND,
     PROFILER_STEP,
     RESULT_CACHE_GET,
     RESULT_CACHE_PUT,
@@ -51,6 +52,10 @@ RETRY_ABSORBED = {
     # single-relation sweep never trips the point (fired == 0), and the
     # dedicated schema campaign below exercises the armed path.
     SCHEMA_LOAD,
+    # Append batches only flow through PliStore.append_rows; the generic
+    # sweep never appends (fired == 0), and the dedicated incremental
+    # campaign below exercises the armed path.
+    INCREMENTAL_APPEND,
 }
 
 pytestmark = pytest.mark.skipif(
@@ -253,6 +258,47 @@ class TestSchemaLoadCampaign:
         assert canonical_catalog_dumps(recovered) == canonical_catalog_dumps(
             reference
         )
+
+
+class TestIncrementalAppendCampaign:
+    """The ``incremental.append`` point: a fault mid-append leaves the
+    relation, its substrate, and the prior profile fully recoverable —
+    the batch retries to exact results, never a torn append."""
+
+    @pytest.mark.parametrize("at", [1, 2])
+    def test_append_fault_contained_per_batch(self, csv_path, at):
+        from repro.incremental import IncrementalProfiler
+
+        whole = read_csv(csv_path).deduplicated()
+        rows = list(whole.iter_rows())
+        names = list(whole.column_names)
+        batches = [rows[20:30], rows[30:]]
+        base = Relation.from_rows(names, rows[:20], name=whole.name)
+        profiler = IncrementalProfiler(algorithm="muds", seed=0)
+        result = profiler.profile_base(base)
+
+        from repro.faults import FaultInjected
+
+        FAULTS.arm(INCREMENTAL_APPEND, at=at)
+        survived = []
+        for batch in batches:
+            fingerprint = base.fingerprint()
+            n_rows = base.n_rows
+            try:
+                result = profiler.maintain(base, batch, result)
+            except FaultInjected:
+                # Containment: the refused batch mutated nothing.
+                assert base.n_rows == n_rows
+                assert base.fingerprint() == fingerprint
+                result = profiler.maintain(base, batch, result)
+            survived.append(result)
+        fired = FAULTS.fired(INCREMENTAL_APPEND)
+        FAULTS.disarm()
+        assert fired == 1
+        reference = IncrementalProfiler(
+            algorithm="muds", seed=0
+        ).profile_base(Relation.from_rows(names, rows, name=whole.name))
+        assert survived[-1].same_metadata(reference)
 
 
 def test_campaign_gate_reflects_environment(monkeypatch):

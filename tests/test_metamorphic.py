@@ -151,3 +151,38 @@ def test_metamorphic_invariants(batch: int) -> None:
                     assert sig == base[key], (
                         f"{tag}: {key} changed under duplicate injection"
                     )
+
+
+# -- append-split invariance -------------------------------------------------
+#
+# Feeding a relation as one base plus k-1 append batches through the
+# incremental profiler is just another way of *presenting* the same set
+# of tuples, so the maintained catalog must be canonically identical to
+# the whole-relation profile for every split — including k=1 (a plain
+# base profile through the incremental dispatch).
+
+
+@pytest.mark.parametrize("k", [1, 2, 5])
+def test_append_split_is_metamorphic_identity(k: int) -> None:
+    from repro.incremental import IncrementalProfiler
+    from repro.metadata.serialize import canonical_metadata_dumps
+
+    rng = random.Random(SEED + 977 * k)
+    for index in range(12):
+        tag = f"split[{k}.{index}]"
+        relation = random_relation(rng, tag, max_rows=14)
+        rows = list(relation.iter_rows())
+        names = list(relation.column_names)
+        whole = IncrementalProfiler(algorithm="muds", seed=0).profile_base(
+            Relation.from_rows(names, rows, name=tag)
+        )
+        chunk = -(-len(rows) // k) if rows else 1
+        batches = [rows[i * chunk : (i + 1) * chunk] for i in range(k)]
+        grown = Relation.from_rows(names, batches[0], name=tag)
+        profiler = IncrementalProfiler(algorithm="muds", seed=0)
+        result = profiler.profile_base(grown)
+        for batch in batches[1:]:
+            result = profiler.maintain(grown, batch, result)
+        assert canonical_metadata_dumps(result) == canonical_metadata_dumps(
+            whole
+        ), f"{tag}: k={k} append split changed the catalog"
